@@ -1,0 +1,21 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables or figures, prints the
+same rows/series the paper reports, and asserts the qualitative shape
+criteria from DESIGN.md §4.  ``pytest benchmarks/ --benchmark-only`` runs
+everything; individual experiments can be run directly via
+``python -m repro.experiments.<name>``.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "experiment: regenerates a paper table or figure"
+    )
+
+
+@pytest.fixture(autouse=True)
+def _print_header(request, capsys):
+    yield

@@ -1,0 +1,275 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not part of the paper's evaluation, but each ablation probes one decision
+the reproduction had to make: the regression weighting, the solver, the
+Horovod fusion threshold, and the simulator noise level.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.forward import ForwardModel
+from repro.core.loo import leave_one_out
+from repro.distributed import ClusterSpec, DistributedTrainer
+from repro.experiments.common import gpu_inference_data
+from repro.hardware.roofline import zoo_profile
+
+
+@pytest.mark.experiment
+def test_ablation_weighting(benchmark):
+    """Relative weighting vs plain least squares.
+
+    Measurements span microseconds to seconds; plain OLS trades the small
+    regime away and MAPE collapses, while R² (dominated by the large
+    records) barely moves — quantifying why the reproduction fits relative
+    residuals.
+    """
+    data = gpu_inference_data()
+
+    def run():
+        rows = []
+        for weighting in ("relative", "none"):
+            def factory(weighting=weighting):
+                fm = ForwardModel()
+                fm.model.weighting = weighting
+                return fm
+
+            pooled = leave_one_out(data, factory, lambda r: r.t_fwd).pooled
+            rows.append(
+                {"weighting": weighting, "r2": pooled.r2,
+                 "mape": pooled.mape}
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        rows, [("weighting", None), ("r2", ".3f"), ("mape", ".3f")],
+        title="Ablation — regression weighting (GPU inference, LOO)",
+    ))
+    by = {r["weighting"]: r for r in rows}
+    assert by["relative"]["mape"] < 0.5 * by["none"]["mape"]
+    assert by["none"]["r2"] > 0.9  # OLS still explains the large records
+
+
+@pytest.mark.experiment
+def test_ablation_solver(benchmark):
+    """OLS vs NNLS: on this data both are accurate; NNLS guarantees
+    non-negative contributions for far extrapolation."""
+    data = gpu_inference_data()
+
+    def run():
+        rows = []
+        for method in ("ols", "nnls"):
+            pooled = leave_one_out(
+                data, lambda m=method: ForwardModel(method=m),
+                lambda r: r.t_fwd,
+            ).pooled
+            model = ForwardModel(method=method).fit(data)
+            coeffs = model.coefficients()
+            rows.append(
+                {"solver": method, "r2": pooled.r2, "mape": pooled.mape,
+                 "min_coef": min(coeffs.values())}
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        rows,
+        [("solver", None), ("r2", ".3f"), ("mape", ".3f"),
+         ("min_coef", ".2e")],
+        title="Ablation — regression solver (GPU inference, LOO)",
+    ))
+    by = {r["solver"]: r for r in rows}
+    assert by["nnls"]["min_coef"] >= 0.0
+    assert abs(by["nnls"]["mape"] - by["ols"]["mape"]) < 0.1
+
+
+@pytest.mark.experiment
+def test_ablation_fusion_threshold(benchmark):
+    """Horovod's tensor fusion: smaller buckets start communication earlier
+    but pay more per-launch overhead; the gradient phase responds."""
+    profile = zoo_profile("resnet50", 128)
+
+    def run():
+        rows = []
+        for threshold_mb in (1, 16, 64, 512):
+            trainer = DistributedTrainer(
+                ClusterSpec(nodes=4),
+                seed=2,
+                fusion_threshold=threshold_mb * 1024 * 1024,
+            )
+            trace = trainer.run_step(profile, 64)
+            rows.append(
+                {
+                    "threshold_mb": threshold_mb,
+                    "buckets": len(trace.buckets),
+                    "grad_ms": trace.phases.grad_update * 1e3,
+                    "hidden_comm_ms": trace.hidden_comm * 1e3,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        rows,
+        [("threshold_mb", None), ("buckets", None), ("grad_ms", ".2f"),
+         ("hidden_comm_ms", ".2f")],
+        title="Ablation — fusion threshold (ResNet50, 4 nodes, batch 64)",
+    ))
+    buckets = [r["buckets"] for r in rows]
+    assert buckets == sorted(buckets, reverse=True)
+    # With a single giant bucket, communication cannot start until almost
+    # the end of backward: less is hidden than with small buckets.
+    assert rows[-1]["hidden_comm_ms"] <= rows[0]["hidden_comm_ms"] + 1.0
+
+
+@pytest.mark.experiment
+def test_ablation_allreduce_algorithm(benchmark):
+    """Flat ring vs NCCL-style hierarchical all-reduce: the hierarchical
+    variant shelters 3/4 of the payload on NVLink, shrinking the exposed
+    gradient phase of communication-bound models."""
+    from repro.hardware.roofline import zoo_profile
+
+    models = ("alexnet", "vgg16", "resnet50")
+
+    def run():
+        rows = []
+        profile_cache = {m: zoo_profile(m, 128) for m in models}
+        for model in models:
+            row = {"model": model}
+            for algo in ("ring", "hierarchical"):
+                trainer = DistributedTrainer(
+                    ClusterSpec(nodes=4), seed=2, algorithm=algo
+                )
+                phases = trainer.measure_step(profile_cache[model], 64)
+                row[f"{algo}_grad_ms"] = phases.grad_update * 1e3
+                row[f"{algo}_total_ms"] = phases.total * 1e3
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        rows,
+        [("model", None), ("ring_grad_ms", ".2f"),
+         ("hierarchical_grad_ms", ".2f"), ("ring_total_ms", ".2f"),
+         ("hierarchical_total_ms", ".2f")],
+        title="Ablation — all-reduce algorithm (4 nodes x 4 GPUs, batch 64)",
+    ))
+    for row in rows:
+        assert row["hierarchical_grad_ms"] <= row["ring_grad_ms"] + 0.5
+    alex = next(r for r in rows if r["model"] == "alexnet")
+    assert alex["hierarchical_total_ms"] < alex["ring_total_ms"]
+
+
+@pytest.mark.experiment
+def test_ablation_seed_stability(benchmark):
+    """The headline conclusions must not depend on the campaign's noise
+    seed: re-running the whole Table 1 GPU pipeline with fresh seeds keeps
+    pooled accuracy inside a tight band."""
+    from repro.benchdata import inference_campaign
+    from repro.hardware.device import A100_80GB
+
+    def run():
+        rows = []
+        for seed in (7, 107, 207):
+            data = inference_campaign(device=A100_80GB, seed=seed)
+            pooled = leave_one_out(
+                data, lambda: ForwardModel(), lambda r: r.t_fwd
+            ).pooled
+            rows.append({"seed": seed, "r2": pooled.r2, "mape": pooled.mape})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        rows, [("seed", None), ("r2", ".3f"), ("mape", ".3f")],
+        title="Ablation — campaign-seed stability (GPU inference, LOO)",
+    ))
+    mapes = [r["mape"] for r in rows]
+    r2s = [r["r2"] for r in rows]
+    assert max(mapes) - min(mapes) < 0.05
+    assert min(r2s) > 0.95
+
+
+@pytest.mark.experiment
+def test_ablation_polynomial_baseline(benchmark):
+    """ConvMeter's linear form vs a NeuralPower-style degree-2 polynomial:
+    the extra capacity does not buy out-of-model generalisation."""
+    from repro.baselines.neuralpower import NeuralPowerModel
+
+    data = gpu_inference_data()
+
+    def run():
+        linear = leave_one_out(
+            data, lambda: ForwardModel(), lambda r: r.t_fwd
+        ).pooled
+        poly = leave_one_out(
+            data, lambda: NeuralPowerModel(degree=2), lambda r: r.t_fwd
+        ).pooled
+        return linear, poly
+
+    linear, poly = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        [
+            {"model": "ConvMeter (linear, 4 coefs)", "r2": linear.r2,
+             "mape": linear.mape},
+            {"model": "NeuralPower-style (poly-2, 10 coefs)", "r2": poly.r2,
+             "mape": poly.mape},
+        ],
+        [("model", None), ("r2", ".3f"), ("mape", ".3f")],
+        title="Ablation — linear vs polynomial regression (GPU, LOO)",
+    ))
+    # The polynomial must not decisively beat the linear model on unseen
+    # architectures — the justification for ConvMeter's simplicity.
+    assert linear.mape < poly.mape * 1.3
+
+
+@pytest.mark.experiment
+def test_ablation_noise_sensitivity(benchmark):
+    """Fit quality vs simulator noise: ConvMeter degrades gracefully, which
+    is the property the paper claims ("ability to handle noise")."""
+    from dataclasses import replace
+
+    from repro.benchdata import inference_campaign
+    from repro.hardware.device import A100_80GB
+
+    def run():
+        rows = []
+        for scale in (0.0, 1.0, 3.0):
+            device = replace(
+                A100_80GB, noise_sigma=A100_80GB.noise_sigma * scale
+            )
+            data = inference_campaign(
+                models=("alexnet", "resnet18", "resnet50", "vgg11",
+                        "mobilenet_v2"),
+                device=device,
+                batch_sizes=(1, 8, 64, 512),
+                image_sizes=(64, 128, 224),
+                seed=41,
+            )
+            pooled = leave_one_out(
+                data, lambda: ForwardModel(), lambda r: r.t_fwd
+            ).pooled
+            rows.append(
+                {"noise_scale": scale, "r2": pooled.r2, "mape": pooled.mape}
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        rows, [("noise_scale", None), ("r2", ".3f"), ("mape", ".3f")],
+        title="Ablation — measurement-noise sensitivity (LOO)",
+    ))
+    # Structural (model-form) error dominates: even at 3x the calibrated
+    # noise, LOO MAPE moves by only a few points — the noise robustness the
+    # paper claims ("our performance model's ability to handle noise").
+    assert rows[-1]["mape"] > rows[1]["mape"]
+    assert rows[-1]["mape"] - rows[0]["mape"] < 0.1
+    assert rows[-1]["r2"] > 0.7

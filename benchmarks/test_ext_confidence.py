@@ -1,0 +1,66 @@
+"""Extension bench: bootstrap uncertainty of ConvMeter predictions.
+
+The paper reports point estimates; this bench quantifies how stable they
+are under resampling of the benchmark campaign — and shows that
+extrapolation (beyond-memory batch sizes, Figure 9's use case) carries
+visibly wider intervals than interpolation, which a planner should know.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.benchdata.records import ConvNetFeatures
+from repro.core.confidence import bootstrap_coefficients, bootstrap_prediction
+from repro.experiments.common import gpu_inference_data
+from repro.hardware.roofline import zoo_profile
+
+N_BOOT = 80
+
+
+@pytest.mark.experiment
+def test_ext_prediction_uncertainty(benchmark):
+    def run():
+        data = gpu_inference_data()
+        coeff_cis = bootstrap_coefficients(data, n_boot=N_BOOT, seed=3)
+        features = ConvNetFeatures.from_profile(zoo_profile("resnet50", 224))
+        rows = []
+        for batch in (16, 256, 2048, 16384):
+            ci = bootstrap_prediction(
+                data, features, batch, n_boot=N_BOOT, seed=3
+            )
+            rows.append(
+                {
+                    "batch": batch,
+                    "pred_ms": ci.point * 1e3,
+                    "lo_ms": ci.lo * 1e3,
+                    "hi_ms": ci.hi * 1e3,
+                    "rel_width": ci.relative_width,
+                }
+            )
+        return coeff_cis, rows
+
+    coeff_cis, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        [
+            {"coefficient": c.name, "point": f"{c.point:.3e}",
+             "lo": f"{c.lo:.3e}", "hi": f"{c.hi:.3e}"}
+            for c in coeff_cis
+        ],
+        [("coefficient", None), ("point", None), ("lo", None), ("hi", None)],
+        title=f"Extension — coefficient 95% bootstrap CIs ({N_BOOT} resamples)",
+    ))
+    print(format_table(
+        rows,
+        [("batch", None), ("pred_ms", ".1f"), ("lo_ms", ".1f"),
+         ("hi_ms", ".1f"), ("rel_width", ".3f")],
+        title="Extension — ResNet50 inference prediction CIs (image 224)",
+    ))
+
+    # Every interval brackets its point estimate.
+    for c in coeff_cis:
+        assert c.lo <= c.point <= c.hi
+    for r in rows:
+        assert r["lo_ms"] <= r["pred_ms"] <= r["hi_ms"]
+    # Predictions stay usefully tight even far beyond the measured range.
+    assert all(r["rel_width"] < 0.5 for r in rows)

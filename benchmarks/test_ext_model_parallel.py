@@ -1,0 +1,63 @@
+"""Extension bench: pipeline model parallelism from block predictions.
+
+Section 3's claim that ConvMeter "can be extended to support other
+parallelization strategies, such as model parallelism, by leveraging [its]
+capability to predict subgraphs or blocks" — exercised as a pipeline-stage
+planning sweep for ResNet50 driven purely by predicted block times.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.forward import ForwardModel
+from repro.experiments.common import gpu_inference_data
+from repro.extensions import compare_stage_counts
+from repro.zoo import build_model
+
+MICRO_BATCH = 16
+N_MICRO_BATCHES = 16
+
+
+@pytest.mark.experiment
+def test_ext_pipeline_planning(benchmark):
+    def run():
+        forward = ForwardModel().fit(gpu_inference_data())
+        graph = build_model("resnet50", 224)
+        return compare_stage_counts(
+            graph, forward, (1, 2, 4, 8), micro_batch=MICRO_BATCH,
+            n_micro_batches=N_MICRO_BATCHES,
+        )
+
+    plans = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for k, plan in sorted(plans.items()):
+        step = plan.step_time(N_MICRO_BATCHES)
+        rows.append(
+            {
+                "stages": k,
+                "bottleneck_ms": plan.bottleneck_time * 1e3,
+                "step_ms": step * 1e3,
+                "throughput_mb_s": N_MICRO_BATCHES / step,
+                "efficiency": plan.pipeline_efficiency,
+            }
+        )
+    print()
+    print(format_table(
+        rows,
+        [("stages", None), ("bottleneck_ms", ".2f"), ("step_ms", ".2f"),
+         ("throughput_mb_s", ".0f"), ("efficiency", ".2f")],
+        title=(
+            "Extension — pipeline-parallel plans for ResNet50 "
+            f"(micro-batch {MICRO_BATCH}, {N_MICRO_BATCHES} micro-batches)"
+        ),
+    ))
+
+    by_stage = {r["stages"]: r for r in rows}
+    # Deeper pipelines shrink the bottleneck slot and raise throughput ...
+    assert by_stage[4]["throughput_mb_s"] > 1.5 * by_stage[1][
+        "throughput_mb_s"
+    ]
+    # ... but lose efficiency to imbalance and fill/drain bubbles.
+    assert by_stage[8]["efficiency"] < by_stage[1]["efficiency"]
+    # Single-stage plan is perfectly "balanced" by definition.
+    assert by_stage[1]["efficiency"] == pytest.approx(1.0)

@@ -1,0 +1,51 @@
+"""Extension bench: all-reduce vs parameter server (Section 2's claim).
+
+"All-reduce strategy is more widely used in distributed training due to
+its ... scalability [and] low communication overhead" — quantified on the
+substrate's interconnect models for a ResNet50-sized gradient payload.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.distributed.interconnect import IB_HDR200_X4
+from repro.distributed.paramserver import allreduce_vs_paramserver
+from repro.hardware.roofline import zoo_profile
+
+
+@pytest.mark.experiment
+def test_ext_allreduce_vs_paramserver(benchmark):
+    nbytes = 4.0 * zoo_profile("resnet50", 128).total_params
+
+    def run():
+        rows = []
+        for workers in (2, 4, 8, 16, 32, 64):
+            costs = allreduce_vs_paramserver(nbytes, workers, IB_HDR200_X4)
+            rows.append(
+                {
+                    "workers": workers,
+                    "ring_ms": costs["ring_all_reduce"] * 1e3,
+                    "paramserver_ms": costs["parameter_server"] * 1e3,
+                    "ratio": costs["parameter_server"]
+                    / costs["ring_all_reduce"],
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        rows,
+        [("workers", None), ("ring_ms", ".2f"), ("paramserver_ms", ".2f"),
+         ("ratio", ".2f")],
+        title="Extension — gradient sync cost, ResNet50 gradients over "
+              "HDR-200 IB",
+    ))
+
+    # Ring cost saturates (volume factor 2(P-1)/P -> 2); the parameter
+    # server grows linearly, so the gap widens monotonically with scale.
+    ratios = [r["ratio"] for r in rows]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > 8.0
+    # At every tested scale the ring already wins.
+    assert all(r["ring_ms"] < r["paramserver_ms"] for r in rows)

@@ -1,0 +1,54 @@
+"""Extension bench: model-specific coefficient refinement (Section 4.3).
+
+"We can tune the coefficients based on a specific ConvNet of interest to
+predict its scalability more accurately.  We do not need to rerun
+benchmarks and can reuse the data."
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.forward import ForwardModel
+from repro.core.refinement import compare_refinement
+from repro.experiments.common import gpu_inference_data
+from repro.zoo.registry import get_entry
+
+
+@pytest.mark.experiment
+def test_ext_refinement(benchmark):
+    models = ("alexnet", "mobilenet_v2", "densenet121", "regnet_x_8gf")
+
+    def run():
+        data = gpu_inference_data()
+        return [
+            compare_refinement(
+                data, model, lambda: ForwardModel(), lambda r: r.t_fwd,
+                seed=17,
+            )
+            for model in models
+        ]
+
+    comparisons = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "model": get_entry(c.model).display,
+            "generic_mape": c.generic.mape,
+            "refined_mape": c.refined.mape,
+            "improvement": c.mape_improvement,
+        }
+        for c in comparisons
+    ]
+    print()
+    print(format_table(
+        rows,
+        [("model", None), ("generic_mape", ".3f"), ("refined_mape", ".3f"),
+         ("improvement", ".0%")],
+        title="Extension — generic (LOO) vs model-specific coefficients",
+    ))
+
+    # Refinement reuses existing data and beats the generic model on every
+    # tested ConvNet, most dramatically on the hardest ones (AlexNet).
+    for c in comparisons:
+        assert c.refined.mape < c.generic.mape, c.model
+    worst_generic = max(comparisons, key=lambda c: c.generic.mape)
+    assert worst_generic.mape_improvement > 0.5

@@ -1,0 +1,22 @@
+"""Extension bench: strong scaling (Section 4.3's second scaling regime)."""
+
+import pytest
+
+from repro.experiments.strong_scaling import run_strong_scaling
+
+
+@pytest.mark.experiment
+def test_ext_strong_scaling(benchmark):
+    result = benchmark.pedantic(run_strong_scaling, rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    for model, curve in result.curves.items():
+        # Predicted step times track fresh measurements.
+        assert result.trend_agreement(model) > 0.95, model
+        # Strong scaling helps (steps get faster with more nodes) ...
+        times = curve.predicted_step_times
+        assert times == sorted(times, reverse=True)
+        # ... but sublinearly: 8x the devices buys < 8x the speed.
+        assert curve.speedup() < 8.0
+        assert curve.speedup() > 2.0

@@ -1,0 +1,23 @@
+"""Figure 1 bench: the synchronous training-step timeline."""
+
+import pytest
+
+from repro.experiments.fig1 import run_fig1
+
+
+@pytest.mark.experiment
+def test_fig1_training_step_anatomy(benchmark):
+    result = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    # The figure's structure: forward, then backward with bucketed gradient
+    # synchronisation overlapping it, then the weight update.
+    assert result.has_bucketed_sync
+    assert result.sync_overlaps_backward
+    assert result.buckets_in_reverse_layer_order
+    trace = result.trace
+    assert trace.phases.forward > 0
+    assert trace.backward_end > 0
+    assert trace.comm_end >= trace.backward_end
+    assert trace.optimizer_time > 0

@@ -1,0 +1,21 @@
+"""Figure 2 bench: metric-set ablation for inference prediction."""
+
+import pytest
+
+from repro.experiments.fig2 import run_fig2
+
+
+@pytest.mark.experiment
+def test_fig2_metric_ablation(benchmark):
+    result = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    # Paper shape: the combined model is the most accurate variant.
+    assert result.combined_wins
+    combined = result.variants["combined"]
+    assert combined.r2 > 0.95
+    # FLOPs alone are inadequate; inputs/outputs alone even more so.
+    assert result.variants["flops"].mape > combined.mape
+    assert result.variants["inputs"].r2 < result.variants["flops"].r2
+    assert result.variants["outputs"].r2 < result.variants["flops"].r2

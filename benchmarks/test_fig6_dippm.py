@@ -1,0 +1,19 @@
+"""Figure 6 bench: ConvMeter vs the DIPPM stand-in."""
+
+import pytest
+
+from repro.experiments.fig6 import run_fig6
+
+
+@pytest.mark.experiment
+def test_fig6_dippm_comparison(benchmark):
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    # Paper: "ConvMeter outperforms DIPPM across all scenarios" and "DIPPM
+    # was unable to parse the model graph of squeezenet1_0".
+    assert result.convmeter_wins_everywhere
+    assert result.unparseable_models == ["squeezenet1_0"]
+    comparable = [r for r in result.rows_data if r.dippm_mape is not None]
+    assert len(comparable) == 13

@@ -1,0 +1,27 @@
+"""Figure 8 bench: throughput vs node count, per ConvNet."""
+
+import pytest
+
+from repro.experiments.fig8 import (
+    alexnet_flattens_first,
+    diminishing_return_nodes,
+    run_fig8,
+)
+
+
+@pytest.mark.experiment
+def test_fig8_node_scaling(benchmark):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    # Predictions follow the measured trend for every model.
+    for model in result.curves:
+        assert result.trend_agreement(model) > 0.95, model
+    # "Alexnet shows a more prominent diminishing return, which our
+    # prediction correctly reflects."
+    assert alexnet_flattens_first(result)
+    assert diminishing_return_nodes(result, "alexnet") <= 2
+    # Compute-bound models keep scaling.
+    assert result.curves["resnet50"].speedup() > 6.0
+    assert result.curves["vgg16"].speedup() > 6.0

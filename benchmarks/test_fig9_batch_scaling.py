@@ -1,0 +1,33 @@
+"""Figure 9 bench: throughput vs batch size, per ConvNet."""
+
+import pytest
+
+from repro.experiments.fig9 import run_fig9
+
+
+@pytest.mark.experiment
+def test_fig9_batch_scaling(benchmark):
+    result = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    batches = list(result.batches)
+    i64, i2048 = batches.index(64), batches.index(2048)
+
+    def late_gain(model: str) -> float:
+        t = result.curves[model].predicted
+        return t[i2048] / t[i64]
+
+    # "ResNet18 and SqueezeNet demonstrate a more pronounced diminishing
+    # return at larger batch sizes" than the mobile networks.
+    for early in ("resnet18", "squeezenet1_0"):
+        for late in ("mobilenet_v2", "efficientnet_b0"):
+            assert late_gain(early) < late_gain(late)
+    # Throughput saturates rather than growing without bound.
+    for curve in result.curves.values():
+        t = curve.predicted
+        assert t[-1] / t[-2] < 1.05
+    # Beyond-memory batches are predicted even though they cannot be
+    # measured (Section 4.3's batch-size simulation).
+    oom = [m for m, c in result.curves.items() if c.measured[-1] is None]
+    assert len(oom) >= 4

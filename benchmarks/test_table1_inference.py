@@ -1,0 +1,25 @@
+"""Table 1 + Figure 3 bench: per-ConvNet inference prediction, CPU + GPU."""
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+
+
+@pytest.mark.experiment
+def test_table1_inference(benchmark):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    # Paper: GPU R²=0.96 / MAPE 0.17, CPU R²=0.98 / RMSE 0.59 s / MAPE 0.25.
+    assert result.gpu.pooled.r2 > 0.9
+    assert result.gpu.pooled.mape < 0.35
+    assert result.cpu.pooled.r2 > 0.9
+    assert result.cpu.pooled.mape < 0.35
+    # Every campaign ConvNet appears in the table.
+    assert len(result.gpu.per_model) == 14
+    assert len(result.cpu.per_model) == 14
+    # Per-model quality: no model collapses.
+    for metrics in result.gpu.per_model.values():
+        assert metrics.r2 > 0.5
+        assert metrics.mape < 0.6

@@ -1,0 +1,19 @@
+"""Table 2 + Figure 4 bench: block-wise inference prediction on the A100."""
+
+import pytest
+
+from repro.experiments.table2 import run_table2
+
+
+@pytest.mark.experiment
+def test_table2_blockwise(benchmark):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    # Paper: pooled R² = 0.997, MAPE = 0.16; per-block MAPE 0.09 – 0.37.
+    assert result.loo.pooled.r2 > 0.95
+    assert result.loo.pooled.mape < 0.25
+    assert len(result.loo.per_model) == 9
+    for block, metrics in result.loo.per_model.items():
+        assert metrics.mape < 0.45, block

@@ -1,0 +1,25 @@
+"""Table 4 bench: the related-work capability matrix."""
+
+import pytest
+
+from repro.experiments.table4 import run_table4
+
+
+@pytest.mark.experiment
+def test_table4_related_work(benchmark):
+    result = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    assert result.verify_convmeter_claims() == []
+    rows = result.rows()
+    assert rows[-1]["method"] == "ConvMeter (ours)"
+    # ConvMeter is the only method covering all six capability columns.
+    full_rows = [
+        r for r in rows
+        if all(r[c] == "yes" for c in (
+            "inference", "training", "unseen", "blocks", "multi-GPU",
+            "multi-node",
+        ))
+    ]
+    assert [r["method"] for r in full_rows] == ["ConvMeter (ours)"]

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Batch-size planning — including batch sizes that exceed device memory.
+
+Section 4.3: because ConvMeter is linear in the batch factor, it can
+predict throughput for batch sizes the device cannot actually hold —
+useful for deciding whether a bigger-memory GPU (or gradient accumulation)
+would pay off before buying it.
+"""
+
+from repro import (
+    A100_80GB,
+    ConvNetFeatures,
+    SimulatedExecutor,
+    TrainingStepModel,
+    batch_scaling_curve,
+    training_campaign,
+    zoo_profile,
+)
+from repro.hardware.memory import fits, training_memory_bytes
+
+MODEL = "vgg16"
+IMAGE = 128
+BATCHES = (16, 64, 256, 1024, 2048, 4096, 8192, 16384)
+
+
+def main() -> None:
+    print("Collecting the single-GPU training campaign ...")
+    data = training_campaign(seed=11)
+    step_model = TrainingStepModel().fit(data.excluding_model(MODEL))
+
+    profile = zoo_profile(MODEL, IMAGE)
+    features = ConvNetFeatures.from_profile(profile)
+    executor = SimulatedExecutor(A100_80GB, seed=321)
+    curve = batch_scaling_curve(step_model, features, BATCHES)
+
+    print(f"\n{MODEL} training throughput vs batch size (image {IMAGE}):")
+    print(f"  {'batch':>6s} {'memory':>9s} {'fits?':>6s} "
+          f"{'predicted':>10s} {'measured':>10s}")
+    for point in curve:
+        batch = point.per_device_batch
+        mem_gb = training_memory_bytes(profile, batch) / 1e9
+        in_memory = fits(profile, batch, A100_80GB, training=True)
+        measured = "-"
+        if in_memory:
+            phases = executor.measure_training_step(profile, batch)
+            measured = f"{batch / phases.total:8.0f}/s"
+        print(
+            f"  {batch:6d} {mem_gb:7.1f}GB {'yes' if in_memory else 'NO':>6s} "
+            f"{point.throughput:8.0f}/s {measured:>10s}"
+        )
+
+    last_fit = max(b for b in BATCHES if fits(profile, b, A100_80GB, True))
+    beyond = [p for p in curve if p.per_device_batch > last_fit]
+    gain = beyond[-1].throughput / next(
+        p.throughput for p in curve if p.per_device_batch == last_fit
+    )
+    print(
+        f"\nLargest batch that fits in {A100_80GB.memory_bytes / 1e9:.0f} GB: "
+        f"{last_fit}."
+    )
+    print(
+        f"Predicted gain from the largest simulated batch "
+        f"({beyond[-1].per_device_batch}): {gain:.2f}x — "
+        + (
+            "a bigger-memory device would barely help; throughput has "
+            "already saturated."
+            if gain < 1.15
+            else "more memory (or gradient accumulation) would still pay off."
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Training-infrastructure planning: how many nodes are worth allocating?
+
+The paper's Section 4.3 use case: given a model, a dataset, and a target
+number of epochs, predict the training time across cluster sizes and find
+the point of diminishing returns — before reserving a single node.
+"""
+
+from repro import (
+    ConvNetFeatures,
+    TrainingStepModel,
+    distributed_campaign,
+    epoch_time,
+    node_scaling_curve,
+    total_training_time,
+    turning_point,
+    zoo_profile,
+)
+
+MODEL = "resnet50"
+IMAGE = 128
+PER_DEVICE_BATCH = 64
+DATASET_SIZE = 1_281_167  # ImageNet-1k
+EPOCHS = 90
+NODE_CHOICES = (1, 2, 4, 8, 16)
+GPUS_PER_NODE = 4
+
+
+def main() -> None:
+    print("Collecting the distributed training campaign ...")
+    data = distributed_campaign(seed=13)
+    # Plan for a model the regression has not seen (LOO discipline).
+    step_model = TrainingStepModel().fit(data.excluding_model(MODEL))
+    print(f"  fitted on {len(data.excluding_model(MODEL))} measurements\n")
+
+    features = ConvNetFeatures.from_profile(zoo_profile(MODEL, IMAGE))
+    curve = node_scaling_curve(
+        step_model, features, PER_DEVICE_BATCH, NODE_CHOICES, GPUS_PER_NODE
+    )
+
+    print(
+        f"Predicted {MODEL} training plan "
+        f"(image {IMAGE}, batch {PER_DEVICE_BATCH}/GPU, {EPOCHS} epochs):"
+    )
+    print(
+        f"  {'nodes':>5s} {'GPUs':>5s} {'step':>9s} {'img/s':>9s} "
+        f"{'epoch':>9s} {'full run':>10s} {'speedup':>8s}"
+    )
+    base_total = None
+    for point in curve:
+        t_epoch = epoch_time(
+            point.step_time, DATASET_SIZE, PER_DEVICE_BATCH, point.devices
+        )
+        t_total = total_training_time(
+            point.step_time, DATASET_SIZE, PER_DEVICE_BATCH, EPOCHS,
+            point.devices,
+        )
+        if base_total is None:
+            base_total = t_total
+        print(
+            f"  {point.x:5d} {point.devices:5d} "
+            f"{point.step_time * 1e3:7.1f}ms {point.throughput:9.0f} "
+            f"{t_epoch / 60:7.1f}min {t_total / 3600:8.1f}h "
+            f"{base_total / t_total:8.2f}x"
+        )
+
+    knee = turning_point(curve, min_gain=1.6)
+    if knee.x == max(NODE_CHOICES):
+        print(
+            f"\n{MODEL} keeps scaling across every tested allocation "
+            f"(up to {knee.x} nodes); communication stays hidden behind "
+            "the backward pass."
+        )
+    else:
+        print(
+            f"\nDiminishing returns set in after {knee.x} node(s): beyond "
+            "that, doubling the allocation no longer buys ~proportional "
+            "throughput."
+        )
+    print(
+        "Gradient all-reduce over the inter-node fabric grows with model "
+        "size and node count (Eq. 4), while per-node compute stays fixed — "
+        "the classic weak-scaling communication wall."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""The substrate end-to-end: really train a ConvNet with data parallelism.
+
+Everything the performance model reasons about happens here numerically:
+each simulated worker runs a true forward and backward pass on its shard
+(the IR's autodiff engine), gradients are synchronised with the executable
+ring all-reduce, and SGD updates the shared parameters.  Alongside, the
+distributed trainer predicts how long each step *would take* on the
+simulated A100 cluster — connecting the functional substrate to the
+performance substrate.
+"""
+
+import numpy as np
+
+from repro import ClusterSpec, DistributedTrainer
+from repro.distributed.allreduce import ring_all_reduce
+from repro.graph.autodiff import TrainableExecutor, softmax_cross_entropy
+from repro.graph.builder import GraphBuilder
+from repro.hardware.roofline import profile_graph
+
+N_WORKERS = 4
+GLOBAL_BATCH = 64
+STEPS = 25
+LR = 0.4
+
+
+def build_net():
+    """A small ConvNet over 16x16 synthetic images, two classes."""
+    b = GraphBuilder("toy_convnet")
+    x = b.input(1, 16, 16)
+    x = b.conv_bn_act(x, 8, kernel_size=3, padding=1)
+    x = b.maxpool(x, 2, stride=2)
+    x = b.conv_bn_act(x, 16, kernel_size=3, padding=1)
+    x = b.classifier(x, 2)
+    return b.finish()
+
+
+def make_batch(rng, n):
+    """Class 1 images carry a bright cross; class 0 are noise."""
+    labels = rng.integers(0, 2, n)
+    x = rng.normal(0, 0.6, (n, 1, 16, 16))
+    x[labels == 1, :, 7:9, :] += 1.8
+    x[labels == 1, :, :, 7:9] += 1.8
+    return x, labels
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    graph = build_net()
+    shard = GLOBAL_BATCH // N_WORKERS
+
+    # Identically initialised worker replicas (same seed = same weights).
+    workers = [TrainableExecutor(graph, seed=42) for _ in range(N_WORKERS)]
+
+    # Predicted wall time per step on the simulated cluster.
+    cluster = ClusterSpec(nodes=1, gpus_per_node=N_WORKERS)
+    predicted = DistributedTrainer(cluster, seed=9).measure_step(
+        profile_graph(graph), shard, enforce_memory=False
+    )
+    print(
+        f"Simulated cluster: {cluster.describe()}\n"
+        f"Predicted step time: {predicted.total * 1e3:.2f} ms "
+        f"(fwd {predicted.forward * 1e3:.2f} / "
+        f"bwd {predicted.backward * 1e3:.2f} / "
+        f"sync {predicted.grad_update * 1e3:.2f})\n"
+    )
+
+    print(f"Training with {N_WORKERS} data-parallel workers, "
+          f"global batch {GLOBAL_BATCH}:")
+    for step in range(STEPS):
+        x, labels = make_batch(rng, GLOBAL_BATCH)
+        # 1. Each worker: forward + backward on its shard.
+        per_worker = []
+        losses = []
+        for w, ex in enumerate(workers):
+            sl = slice(w * shard, (w + 1) * shard)
+            logits = ex.forward(x[sl])
+            loss, grad = softmax_cross_entropy(logits, labels[sl])
+            losses.append(loss)
+            per_worker.append(ex.backward(grad))
+
+        # 2. Ring all-reduce every gradient tensor across workers.
+        averaged = {}
+        for node in per_worker[0]:
+            averaged[node] = {}
+            for key in per_worker[0][node]:
+                reduced = ring_all_reduce(
+                    [pw[node][key] for pw in per_worker]
+                )
+                averaged[node][key] = reduced[0] / N_WORKERS
+
+        # 3. Every worker applies the identical averaged update.
+        for ex in workers:
+            ex.sgd_step(averaged, LR)
+
+        if step % 5 == 0 or step == STEPS - 1:
+            print(f"  step {step:3d}  mean shard loss {np.mean(losses):.4f}")
+
+    # Verify the replicas stayed bit-identical (synchronous SGD invariant).
+    drift = max(
+        np.abs(workers[0].params[n][k] - ex.params[n][k]).max()
+        for ex in workers[1:]
+        for n in workers[0].params
+        for k in workers[0].params[n]
+    )
+    x_val, y_val = make_batch(np.random.default_rng(123), 256)
+    accuracy = float(
+        (workers[0].forward(x_val).argmax(axis=1) == y_val).mean()
+    )
+    print(f"\nvalidation accuracy: {accuracy:.1%}")
+    print(f"max parameter drift across replicas: {drift:.2e} "
+          "(synchronous data parallelism keeps replicas identical)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Block-level latency ranking for neural architecture search.
+
+The paper motivates block-wise prediction with NAS (Sections 1 and 4.1.2):
+a search procedure needs per-block latency estimates to trade accuracy
+proxies against runtime *without benchmarking every candidate*.  This
+example ranks the Table 2 block catalogue by predicted latency-per-MFLOP —
+the "efficiency frontier" a hardware-aware NAS would consult — and checks
+the ranking against fresh measurements.
+"""
+
+from repro import A100_80GB, ConvNetFeatures, ForwardModel, SimulatedExecutor
+from repro.benchdata import block_campaign
+from repro.benchdata.campaign import block_profile
+from repro.zoo.blocks import BLOCK_CATALOGUE
+
+IMAGE = 160
+BATCH = 64
+
+
+def main() -> None:
+    print("Benchmarking the block catalogue once ...")
+    data = block_campaign(device=A100_80GB, seed=9)
+    model = ForwardModel().fit(data)
+    print(f"  fitted on {len(data)} block measurements\n")
+
+    executor = SimulatedExecutor(A100_80GB, seed=123)
+    rows = []
+    for spec in BLOCK_CATALOGUE:
+        try:
+            profile = block_profile(spec.name, IMAGE)
+        except ValueError:
+            continue  # parent architecture cannot run at this image size
+        features = ConvNetFeatures.from_profile(profile)
+        predicted = model.predict_one(features, BATCH)
+        measured = executor.measure_inference(profile, BATCH)
+        mflops = BATCH * features.flops / 1e6
+        rows.append(
+            {
+                "block": spec.name,
+                "source": spec.display_source,
+                "pred_ms": predicted * 1e3,
+                "meas_ms": measured * 1e3,
+                "ms_per_gflop": predicted * 1e3 / (mflops / 1e3),
+            }
+        )
+
+    rows.sort(key=lambda r: r["ms_per_gflop"])
+    print(f"Block efficiency ranking (image {IMAGE}, batch {BATCH}):")
+    print(f"  {'block':22s}{'source':18s}{'pred':>9s}{'meas':>9s}"
+          f"{'ms/GFLOP':>10s}")
+    for r in rows:
+        print(
+            f"  {r['block']:22s}{r['source']:18s}{r['pred_ms']:8.2f}m"
+            f"{r['meas_ms']:8.2f}m{r['ms_per_gflop']:10.3f}"
+        )
+
+    best, worst = rows[0], rows[-1]
+    print(
+        f"\nMost latency-efficient block: {best['block']} "
+        f"({best['ms_per_gflop']:.3f} ms/GFLOP)"
+    )
+    print(
+        f"Least efficient block: {worst['block']} "
+        f"({worst['ms_per_gflop']:.3f} ms/GFLOP) — "
+        "depthwise/SE blocks trade FLOPs for memory traffic, which is why "
+        "FLOP counts alone mislead a NAS."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: tune ConvMeter once, then predict unseen configurations.
+
+The workflow of the paper's Section 3.4:
+
+1. run one benchmark campaign on the target device (here, the simulated
+   A100) across the model zoo;
+2. fit the four forward-pass coefficients with linear regression;
+3. predict inference time for a network/batch/image configuration the
+   model has never been fitted on — instantly, no further benchmarking.
+"""
+
+from repro import (
+    A100_80GB,
+    ConvNetFeatures,
+    ForwardModel,
+    SimulatedExecutor,
+    inference_campaign,
+    zoo_profile,
+)
+
+
+def main() -> None:
+    # 1. One-off measurement campaign (batch 1-2048 x image 32-224 x zoo).
+    print("Running the benchmark campaign on", A100_80GB.name, "...")
+    data = inference_campaign(device=A100_80GB, seed=7)
+    print(f"  collected {len(data)} data points "
+          f"({len(data.models())} ConvNets)\n")
+
+    # 2. Fit ConvMeter's forward-pass model (Eq. 2/3 of the paper):
+    #    T_fwd = b * (c1*FLOPs + c2*Inputs + c3*Outputs) + c4
+    model = ForwardModel().fit(data)
+    print("Fitted platform coefficients:")
+    for name, value in model.coefficients().items():
+        print(f"  {name:12s} = {value:.3e}")
+    print()
+
+    # 3. Predict a held-out network. DenseNet-121 is in the campaign pool;
+    #    to predict it as *unseen*, refit without its data (the paper's
+    #    leave-one-out discipline), then compare against fresh
+    #    measurements the model has never touched.
+    unseen = "densenet121"
+    model = ForwardModel().fit(data.excluding_model(unseen))
+    profile = zoo_profile(unseen, 224)
+    features = ConvNetFeatures.from_profile(profile)
+    executor = SimulatedExecutor(A100_80GB, seed=99)
+
+    print(f"Predicting {unseen} at image 224 (never seen by the model):")
+    print(f"  {'batch':>6s} {'predicted':>12s} {'measured':>12s} {'err':>7s}")
+    for batch in (1, 8, 32, 128, 512):
+        predicted = model.predict_one(features, batch)
+        measured = executor.measure_inference(profile, batch)
+        err = (predicted - measured) / measured
+        print(
+            f"  {batch:6d} {predicted * 1e3:10.2f}ms {measured * 1e3:10.2f}ms"
+            f" {err:+7.1%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

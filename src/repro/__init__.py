@@ -1,0 +1,118 @@
+"""ConvMeter — runtime and scalability prediction for ConvNets.
+
+Reproduction of "Dissecting Convolutional Neural Networks for Runtime and
+Scalability Prediction" (Beringer, Stock, Mazaheri, Wolf — ICPP '24).
+
+Typical usage::
+
+    from repro import (
+        ForwardModel, TrainingStepModel, inference_campaign,
+        ConvNetFeatures, zoo_profile,
+    )
+
+    data = inference_campaign()                 # benchmark the model zoo
+    model = ForwardModel().fit(data)            # tune the coefficients
+    feats = ConvNetFeatures.from_profile(zoo_profile("resnet50", 224))
+    t = model.predict_one(feats, batch=64)      # predict an unseen config
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+harness that regenerates every table and figure of the paper.
+"""
+
+from repro.benchdata import (
+    ConvNetFeatures,
+    Dataset,
+    TimingRecord,
+    block_campaign,
+    distributed_campaign,
+    inference_campaign,
+    training_campaign,
+)
+from repro.core import (
+    BackwardModel,
+    CombinedBwdGradModel,
+    EvalMetrics,
+    ForwardModel,
+    GradientUpdateModel,
+    TrainingStepModel,
+    accumulated_step_time,
+    batch_scaling_curve,
+    blockwise_evaluation,
+    bootstrap_coefficients,
+    bootstrap_prediction,
+    compare_refinement,
+    epoch_time,
+    evaluate_predictions,
+    leave_one_out,
+    load_model,
+    model_specific_fit,
+    node_scaling_curve,
+    save_model,
+    shared_fit_evaluation,
+    strong_scaling_curve,
+    throughput,
+    total_training_time,
+    turning_point,
+)
+from repro.distributed import ClusterSpec, DistributedTrainer
+from repro.hardware import (
+    A100_80GB,
+    DeviceSpec,
+    SimulatedExecutor,
+    XEON_GOLD_5318Y_CORE,
+)
+from repro.hardware.roofline import zoo_profile
+from repro.zoo import available_models, build_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # campaign data
+    "ConvNetFeatures",
+    "TimingRecord",
+    "Dataset",
+    "inference_campaign",
+    "training_campaign",
+    "distributed_campaign",
+    "block_campaign",
+    # performance models
+    "ForwardModel",
+    "BackwardModel",
+    "GradientUpdateModel",
+    "CombinedBwdGradModel",
+    "TrainingStepModel",
+    # evaluation
+    "EvalMetrics",
+    "evaluate_predictions",
+    "leave_one_out",
+    "blockwise_evaluation",
+    # evaluation extras
+    "shared_fit_evaluation",
+    "bootstrap_coefficients",
+    "bootstrap_prediction",
+    "compare_refinement",
+    "model_specific_fit",
+    # planning
+    "epoch_time",
+    "total_training_time",
+    "throughput",
+    "accumulated_step_time",
+    "node_scaling_curve",
+    "strong_scaling_curve",
+    "batch_scaling_curve",
+    "turning_point",
+    # persistence
+    "save_model",
+    "load_model",
+    # substrates
+    "available_models",
+    "build_model",
+    "zoo_profile",
+    "DeviceSpec",
+    "A100_80GB",
+    "XEON_GOLD_5318Y_CORE",
+    "SimulatedExecutor",
+    "ClusterSpec",
+    "DistributedTrainer",
+]

@@ -1,0 +1,23 @@
+"""Reporting utilities: tables, scatter summaries, coefficient
+interpretation, and the related-work matrix."""
+
+from repro.analysis.tables import format_table, format_series
+from repro.analysis.scatter import format_scatter, scatter_bins
+from repro.analysis.coefficients import (
+    CoefficientInterpretation,
+    interpret_forward_model,
+    sanity_check,
+)
+from repro.analysis.related_work import RELATED_WORK, MethodCapabilities
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_scatter",
+    "scatter_bins",
+    "CoefficientInterpretation",
+    "interpret_forward_model",
+    "sanity_check",
+    "RELATED_WORK",
+    "MethodCapabilities",
+]

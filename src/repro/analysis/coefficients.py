@@ -1,0 +1,112 @@
+"""Physical interpretation of fitted ConvMeter coefficients.
+
+Section 3 argues that "the tunable coefficients capture the overall
+runtime performance differences between different hardware platforms".
+Each coefficient has units:
+
+* ``c1`` (b·FLOPs)   — seconds per FLOP → ``1/c1`` is the achieved
+  compute rate the regression attributes to the platform;
+* ``c2``/``c3`` (b·Inputs / b·Outputs) — seconds per activation element →
+  ``4/(c2+c3)`` is the achieved load+store bandwidth (float32);
+* ``c4`` — the fixed per-invocation overhead.
+
+Comparing these implied rates against the device's datasheet peaks shows
+whether a fit is physically sensible — a cheap sanity check the paper's
+methodology invites but does not spell out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.forward import ForwardModel
+from repro.hardware.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class CoefficientInterpretation:
+    """Implied platform characteristics of a fitted forward model."""
+
+    #: Achieved compute rate implied by c1, FLOP/s.
+    implied_flops: float | None
+    #: Achieved memory bandwidth implied by c2 + c3, bytes/s.
+    implied_bandwidth: float | None
+    #: Fixed overhead c4, seconds.
+    fixed_overhead: float
+    #: Fractions of the device's datasheet peaks (None without a device).
+    flops_fraction_of_peak: float | None = None
+    bandwidth_fraction_of_peak: float | None = None
+
+    def summary(self) -> str:
+        parts = []
+        if self.implied_flops is not None:
+            text = f"implied compute {self.implied_flops / 1e12:.2f} TFLOP/s"
+            if self.flops_fraction_of_peak is not None:
+                text += f" ({self.flops_fraction_of_peak:.0%} of peak)"
+            parts.append(text)
+        if self.implied_bandwidth is not None:
+            text = (
+                f"implied bandwidth {self.implied_bandwidth / 1e9:.0f} GB/s"
+            )
+            if self.bandwidth_fraction_of_peak is not None:
+                text += f" ({self.bandwidth_fraction_of_peak:.0%} of peak)"
+            parts.append(text)
+        parts.append(f"fixed overhead {self.fixed_overhead * 1e6:.0f} us")
+        return "; ".join(parts)
+
+
+def interpret_forward_model(
+    model: ForwardModel, device: DeviceSpec | None = None
+) -> CoefficientInterpretation:
+    """Translate fitted coefficients into implied platform rates."""
+    coeffs = model.coefficients()
+    c_flops = coeffs.get("b*flops")
+    c_inputs = coeffs.get("b*inputs", 0.0)
+    c_outputs = coeffs.get("b*outputs", 0.0)
+    intercept = coeffs.get("intercept", 0.0)
+
+    implied_flops = (
+        1.0 / c_flops if c_flops is not None and c_flops > 0 else None
+    )
+    elem_cost = c_inputs + c_outputs
+    implied_bw = 4.0 / elem_cost if elem_cost > 0 else None
+
+    flops_frac = bw_frac = None
+    if device is not None:
+        if implied_flops is not None:
+            flops_frac = implied_flops / device.peak_flops
+        if implied_bw is not None:
+            bw_frac = implied_bw / device.mem_bandwidth
+    return CoefficientInterpretation(
+        implied_flops=implied_flops,
+        implied_bandwidth=implied_bw,
+        fixed_overhead=intercept,
+        flops_fraction_of_peak=flops_frac,
+        bandwidth_fraction_of_peak=bw_frac,
+    )
+
+
+def sanity_check(
+    interpretation: CoefficientInterpretation,
+    tolerance: float = 4.0,
+) -> list[str]:
+    """Flags for physically implausible fits.
+
+    Returns human-readable warnings; empty list means the coefficients are
+    consistent with the hardware (implied rates below ``tolerance`` × peak
+    and above peak/1000).
+    """
+    warnings: list[str] = []
+    f = interpretation.flops_fraction_of_peak
+    if f is not None and not (1e-3 <= f <= tolerance):
+        warnings.append(
+            f"implied compute rate is {f:.2g}x the device peak"
+        )
+    b = interpretation.bandwidth_fraction_of_peak
+    if b is not None and not (1e-3 <= b <= tolerance):
+        warnings.append(
+            f"implied bandwidth is {b:.2g}x the device peak"
+        )
+    if interpretation.fixed_overhead < 0:
+        warnings.append("negative fixed overhead")
+    return warnings

@@ -1,0 +1,115 @@
+"""Per-block latency breakdown of one model — the NAS-facing report.
+
+Section 4.1 motivates fine-grained prediction as "particularly useful for
+neural architecture search and network optimization methods to spot and
+tune the network's bottlenecks".  This report predicts every block of a
+model with a fitted forward model and ranks the bottlenecks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.benchdata.records import ConvNetFeatures
+from repro.core.forward import ForwardModel
+from repro.graph.graph import ComputeGraph
+from repro.hardware.roofline import profile_graph
+
+
+@dataclass(frozen=True)
+class BlockReportRow:
+    """Predicted cost of one block of a model."""
+
+    block: str
+    layers: int
+    params: int
+    flops: float
+    predicted_time: float
+    share: float  # fraction of the summed block time
+
+
+@dataclass(frozen=True)
+class ModelReport:
+    model: str
+    batch: int
+    rows: tuple[BlockReportRow, ...]
+
+    @property
+    def total_time(self) -> float:
+        return sum(r.predicted_time for r in self.rows)
+
+    def bottleneck(self) -> BlockReportRow:
+        return max(self.rows, key=lambda r: r.predicted_time)
+
+    def render(self) -> str:
+        table_rows = [
+            {
+                "block": r.block,
+                "layers": r.layers,
+                "params_k": r.params / 1e3,
+                "gflops": r.flops * self.batch / 1e9,
+                "pred_ms": r.predicted_time * 1e3,
+                "share": f"{r.share:.0%}",
+            }
+            for r in self.rows
+        ]
+        return format_table(
+            table_rows,
+            [
+                ("block", None),
+                ("layers", None),
+                ("params_k", ".0f"),
+                ("gflops", ".2f"),
+                ("pred_ms", ".3f"),
+                ("share", None),
+            ],
+            title=(
+                f"Block-level latency report — {self.model} "
+                f"(batch {self.batch})"
+            ),
+        )
+
+
+def block_report(
+    graph: ComputeGraph,
+    forward_model: ForwardModel,
+    batch: int = 1,
+) -> ModelReport:
+    """Predict every block of ``graph`` with a fitted forward model.
+
+    Blocks are the graph's declared scopes; per-block predictions come from
+    block subgraphs exactly as in the Table 2 protocol.
+    """
+    names = graph.block_names()
+    if not names:
+        raise ValueError(f"graph {graph.name!r} declares no blocks")
+    rows: list[BlockReportRow] = []
+    for scope in names:
+        sub = graph.block_subgraph(scope)
+        profile = profile_graph(sub)
+        features = ConvNetFeatures.from_profile(profile)
+        predicted = forward_model.predict_one(features, batch)
+        rows.append(
+            BlockReportRow(
+                block=scope,
+                layers=profile.parametric_layers,
+                params=int(profile.total_params),
+                flops=profile.total_flops,
+                predicted_time=max(predicted, 0.0),
+                share=0.0,
+            )
+        )
+    total = sum(r.predicted_time for r in rows) or 1.0
+    rows = [
+        BlockReportRow(
+            block=r.block,
+            layers=r.layers,
+            params=r.params,
+            flops=r.flops,
+            predicted_time=r.predicted_time,
+            share=r.predicted_time / total,
+        )
+        for r in rows
+    ]
+    return ModelReport(model=graph.name, batch=batch, rows=tuple(rows))

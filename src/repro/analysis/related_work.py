@@ -1,0 +1,164 @@
+"""The Table 4 capability matrix: ConvMeter vs. related methods.
+
+A static data structure (the table is qualitative in the paper) plus a
+consistency check used by tests: every capability ConvMeter claims in the
+table is backed by an implemented feature in this repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MethodCapabilities:
+    """One row of the paper's Table 4."""
+
+    name: str
+    predicts_inference: bool
+    predicts_training: bool
+    unseen_models: bool
+    block_level: bool
+    multi_gpu: bool
+    multi_node: bool
+    #: Short description of the effort needed to build the model.
+    modeling_effort: str
+    approach: str
+
+
+RELATED_WORK: tuple[MethodCapabilities, ...] = (
+    MethodCapabilities(
+        name="NeuralPower",
+        predicts_inference=True,
+        predicts_training=False,
+        unseen_models=True,
+        block_level=False,
+        multi_gpu=False,
+        multi_node=False,
+        modeling_effort="polynomial regression per platform",
+        approach="polynomial regression",
+    ),
+    MethodCapabilities(
+        name="nn-Meter",
+        predicts_inference=True,
+        predicts_training=False,
+        unseen_models=True,
+        block_level=False,
+        multi_gpu=False,
+        multi_node=False,
+        modeling_effort="extensive kernel sampling per device",
+        approach="kernel-level ML",
+    ),
+    MethodCapabilities(
+        name="DIPPM",
+        predicts_inference=True,
+        predicts_training=False,
+        unseen_models=True,
+        block_level=False,
+        multi_gpu=False,
+        multi_node=False,
+        modeling_effort="500 training epochs on a large dataset",
+        approach="graph neural network",
+    ),
+    MethodCapabilities(
+        name="Justus et al.",
+        predicts_inference=True,
+        predicts_training=True,
+        unseen_models=True,
+        block_level=False,
+        multi_gpu=False,
+        multi_node=False,
+        modeling_effort="deep-learning model training",
+        approach="deep learning",
+    ),
+    MethodCapabilities(
+        name="Pei et al.",
+        predicts_inference=False,
+        predicts_training=True,
+        unseen_models=False,
+        block_level=False,
+        multi_gpu=True,
+        multi_node=False,
+        modeling_effort="per-model fitting",
+        approach="analytical + regression",
+    ),
+    MethodCapabilities(
+        name="PALEO",
+        predicts_inference=True,
+        predicts_training=True,
+        unseen_models=True,
+        block_level=False,
+        multi_gpu=True,
+        multi_node=True,
+        modeling_effort="none (analytical)",
+        approach="FLOPs/bandwidth analytical",
+    ),
+    MethodCapabilities(
+        name="ParaDL",
+        predicts_inference=False,
+        predicts_training=True,
+        unseen_models=False,
+        block_level=False,
+        multi_gpu=True,
+        multi_node=True,
+        modeling_effort="per-model fitting",
+        approach="analytical",
+    ),
+    MethodCapabilities(
+        name="Habitat",
+        predicts_inference=False,
+        predicts_training=True,
+        unseen_models=True,
+        block_level=False,
+        multi_gpu=False,
+        multi_node=False,
+        modeling_effort="runtime profiling + MLP per pair of devices",
+        approach="runtime-based + ML",
+    ),
+    MethodCapabilities(
+        name="DNNPerf",
+        predicts_inference=False,
+        predicts_training=True,
+        unseen_models=True,
+        block_level=False,
+        multi_gpu=False,
+        multi_node=False,
+        modeling_effort="GNN training on a large corpus",
+        approach="graph neural network",
+    ),
+    MethodCapabilities(
+        name="ConvMeter (ours)",
+        predicts_inference=True,
+        predicts_training=True,
+        unseen_models=True,
+        block_level=True,
+        multi_gpu=True,
+        multi_node=True,
+        modeling_effort="<5000 benchmark points + linear regression",
+        approach="linear regression on ConvNet metrics",
+    ),
+)
+
+
+def convmeter_row() -> MethodCapabilities:
+    return RELATED_WORK[-1]
+
+
+def to_rows() -> list[dict[str, object]]:
+    """Rows for :func:`repro.analysis.tables.format_table`."""
+    def mark(flag: bool) -> str:
+        return "yes" if flag else "no"
+
+    return [
+        {
+            "method": m.name,
+            "inference": mark(m.predicts_inference),
+            "training": mark(m.predicts_training),
+            "unseen": mark(m.unseen_models),
+            "blocks": mark(m.block_level),
+            "multi-GPU": mark(m.multi_gpu),
+            "multi-node": mark(m.multi_node),
+            "modeling effort": m.modeling_effort,
+        }
+        for m in RELATED_WORK
+    ]

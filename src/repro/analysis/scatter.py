@@ -1,0 +1,89 @@
+"""Textual scatter summaries — the analogue of the paper's Figures 3/4.
+
+The paper's scatter plots show measured-vs-predicted points on log-log
+axes with a diagonal reference.  In text form, this becomes a table of
+logarithmic time bins with per-bin prediction-ratio statistics: a perfect
+predictor has geometric-mean ratio 1.0 in every bin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+
+
+@dataclass(frozen=True)
+class ScatterBin:
+    """One logarithmic bin of the measured-time axis."""
+
+    lo: float
+    hi: float
+    count: int
+    #: Geometric mean of predicted / measured (1.0 = unbiased).
+    ratio_gmean: float
+    #: Geometric standard deviation of the ratio (1.0 = no spread).
+    ratio_gsd: float
+
+
+def scatter_bins(
+    measured: Sequence[float],
+    predicted: Sequence[float],
+    n_bins: int = 6,
+) -> list[ScatterBin]:
+    """Bin measured/predicted pairs logarithmically along measured time."""
+    m = np.asarray(measured, dtype=np.float64)
+    p = np.asarray(predicted, dtype=np.float64)
+    if m.shape != p.shape or m.size == 0:
+        raise ValueError("need equal-length non-empty measurement arrays")
+    if np.any(m <= 0) or np.any(p <= 0):
+        raise ValueError("scatter summary requires positive times")
+    edges = np.logspace(
+        np.log10(m.min()), np.log10(m.max()), n_bins + 1
+    )
+    edges[-1] *= 1.0 + 1e-12  # include the max point
+    bins: list[ScatterBin] = []
+    log_ratio = np.log(p / m)
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (m >= lo) & (m < hi)
+        if not mask.any():
+            continue
+        r = log_ratio[mask]
+        bins.append(
+            ScatterBin(
+                lo=float(lo),
+                hi=float(hi),
+                count=int(mask.sum()),
+                ratio_gmean=float(np.exp(r.mean())),
+                ratio_gsd=float(np.exp(r.std())),
+            )
+        )
+    return bins
+
+
+def format_scatter(
+    measured: Sequence[float],
+    predicted: Sequence[float],
+    n_bins: int = 6,
+    unit: str = "s",
+    title: str | None = None,
+) -> str:
+    """Render the binned scatter summary as a table."""
+    rows = [
+        {
+            "range": f"{b.lo:.3g}-{b.hi:.3g}{unit}",
+            "n": b.count,
+            "pred/meas (gmean)": f"{b.ratio_gmean:.2f}",
+            "spread (gsd)": f"{b.ratio_gsd:.2f}",
+        }
+        for b in scatter_bins(measured, predicted, n_bins)
+    ]
+    return format_table(
+        rows,
+        [("range", None), ("n", None), ("pred/meas (gmean)", None),
+         ("spread (gsd)", None)],
+        title=title,
+    )

@@ -1,0 +1,77 @@
+"""Plain-text table and series rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's tables report; these
+helpers keep that output consistent and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def _format_cell(value: object, spec: str | None) -> str:
+    if spec is None:
+        return str(value)
+    return format(value, spec)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[tuple[str, str | None]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned plain-text table.
+
+    ``columns`` is a sequence of ``(key, format_spec)`` pairs; the key is
+    also the header.  Missing cells render as ``-``.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    headers = [key for key, _spec in columns]
+    body: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for key, spec in columns:
+            if key in row and row[key] is not None:
+                cells.append(_format_cell(row[key], spec))
+            else:
+                cells.append("-")
+        body.append(cells)
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in body))
+        for i in range(len(headers))
+    ]
+    def fmt_line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(headers))
+    lines.append(fmt_line(["-" * w for w in widths]))
+    lines.extend(fmt_line(cells) for cells in body)
+    return "\n".join(lines)
+
+
+def format_series(
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    x_label: str = "x",
+    value_format: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render one or more aligned numeric series against a shared x-axis —
+    the textual equivalent of a figure's plotted lines."""
+    for name, values in series.items():
+        if len(values) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for {len(xs)} xs"
+            )
+    rows = []
+    for i, x in enumerate(xs):
+        row: dict[str, object] = {x_label: x}
+        for name, values in series.items():
+            row[name] = format(values[i], value_format)
+        rows.append(row)
+    columns = [(x_label, None)] + [(name, None) for name in series]
+    return format_table(rows, columns, title=title)

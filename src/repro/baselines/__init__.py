@@ -1,0 +1,24 @@
+"""Comparator models.
+
+* Single-metric regressions (FLOPs-only / Inputs-only / Outputs-only) for
+  the Figure 2 ablation — thin configurations of the forward model.
+* A PALEO-style analytical predictor (no fitting; load divided by nominal
+  device capability) representing the FLOPs-based related work.
+* A DIPPM stand-in: a learned graph-feature predictor trained on a fixed
+  coarse dataset, reproducing the qualitative Figure 6 comparison.
+"""
+
+from repro.baselines.single_metric import (
+    SINGLE_METRIC_VARIANTS,
+    single_metric_model,
+)
+from repro.baselines.paleo import PaleoModel
+from repro.baselines.dippm import DippmSurrogate, GraphUnsupportedError
+
+__all__ = [
+    "SINGLE_METRIC_VARIANTS",
+    "single_metric_model",
+    "PaleoModel",
+    "DippmSurrogate",
+    "GraphUnsupportedError",
+]

@@ -1,0 +1,74 @@
+"""PALEO-style analytical baseline (Qi et al., ICLR '17).
+
+PALEO decomposes each layer's runtime into reading inputs, computing, and
+writing outputs, estimating each phase as load divided by the *nominal*
+device capability scaled by a single "platform percent of peak" factor.  No
+benchmarking or fitting is involved — which is exactly why it misses the
+layer-type efficiency structure of modern ConvNets (the paper's Section 5
+critique: "only using the FLOPs does not reflect the complex structures of
+modern ConvNets").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.benchdata.records import Dataset, TimingRecord
+from repro.core.metrics import EvalMetrics, evaluate_predictions
+from repro.hardware.device import DeviceSpec
+from repro.hardware.roofline import CostProfile
+
+
+class PaleoModel:
+    """Analytical layer-wise predictor: load / (capability · percent-of-peak)."""
+
+    def __init__(
+        self, device: DeviceSpec, percent_of_peak: float = 0.5
+    ) -> None:
+        if not 0.0 < percent_of_peak <= 1.0:
+            raise ValueError("percent_of_peak must be in (0, 1]")
+        self.device = device
+        self.percent_of_peak = percent_of_peak
+
+    def predict_profile(self, profile: CostProfile, batch: int) -> float:
+        """Predicted forward time from first principles, seconds."""
+        flops = profile.flops * batch
+        nbytes = profile.act_bytes * batch + profile.weight_bytes
+        compute = flops / (self.device.peak_flops * self.percent_of_peak)
+        io = nbytes / (self.device.mem_bandwidth * self.percent_of_peak)
+        return float(np.sum(compute + io))
+
+    def fit(self, data: Dataset | Sequence[TimingRecord]) -> "PaleoModel":
+        """No-op: PALEO does not fit.  Present for interface parity."""
+        return self
+
+    def predict(self, data: Dataset | Sequence[TimingRecord]) -> np.ndarray:
+        """Predict from the record's aggregate metrics.
+
+        Records carry only aggregate F/I/O, so the per-layer decomposition
+        collapses to totals — faithful to PALEO's additive structure.
+        """
+        out = []
+        for r in records_of(data):
+            flops = r.features.flops * r.batch
+            nbytes = (
+                (r.features.inputs + r.features.outputs) * r.batch
+                + r.features.weights
+            ) * 4.0
+            compute = flops / (self.device.peak_flops * self.percent_of_peak)
+            io = nbytes / (self.device.mem_bandwidth * self.percent_of_peak)
+            out.append(compute + io)
+        return np.array(out)
+
+    def evaluate(self, data: Dataset | Sequence[TimingRecord]) -> EvalMetrics:
+        records = records_of(data)
+        measured = np.array([r.t_fwd for r in records])
+        return evaluate_predictions(measured, self.predict(records))
+
+
+def records_of(
+    data: Dataset | Sequence[TimingRecord],
+) -> list[TimingRecord]:
+    return list(data)

@@ -1,0 +1,31 @@
+"""Single-metric regression baselines (Figure 2).
+
+The paper shows that FLOPs alone — the classic predictor (PALEO and
+followers) — as well as Inputs-only and Outputs-only regressions are each
+insufficient, while their combination is accurate.  These baselines are the
+forward model restricted to one metric.
+"""
+
+from __future__ import annotations
+
+from repro.core.forward import ForwardModel
+
+#: The four variants of Figure 2, in plot order.
+SINGLE_METRIC_VARIANTS: dict[str, tuple[str, ...]] = {
+    "flops": ("flops",),
+    "inputs": ("inputs",),
+    "outputs": ("outputs",),
+    "combined": ("flops", "inputs", "outputs"),
+}
+
+
+def single_metric_model(variant: str, method: str = "ols") -> ForwardModel:
+    """Forward model restricted to one Figure 2 metric set."""
+    try:
+        metrics = SINGLE_METRIC_VARIANTS[variant]
+    except KeyError:
+        raise KeyError(
+            f"unknown variant {variant!r}; options: "
+            f"{', '.join(SINGLE_METRIC_VARIANTS)}"
+        ) from None
+    return ForwardModel(metric_names=metrics, method=method)

@@ -1,0 +1,243 @@
+"""Benchmark sweep generators.
+
+The sweeps mirror the paper's campaign: "batch sizes from one to 2048 and
+image sizes from 32 to 224 pixels, as long as the available memory on the
+target system allows", yielding a few thousand data points per scenario
+(the paper collects "less than 5,000").
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+from repro.benchdata.records import ConvNetFeatures, Dataset, TimingRecord
+from repro.distributed.cluster import ClusterSpec
+from repro.distributed.trainer import DistributedTrainer
+from repro.hardware.device import A100_80GB, DeviceSpec
+from repro.hardware.executor import SimulatedExecutor
+from repro.hardware.memory import fits
+from repro.hardware.roofline import CostProfile, profile_graph, zoo_profile
+from repro.zoo.blocks import BLOCK_CATALOGUE, BlockSpec, build_block
+from repro.zoo.registry import get_entry
+
+#: Paper sweep: batch sizes 1…2048 (powers of two).
+DEFAULT_BATCH_SIZES: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+                                        1024, 2048)
+
+#: Paper sweep: image sizes 32…224 px.
+DEFAULT_IMAGE_SIZES: tuple[int, ...] = (32, 64, 96, 128, 160, 192, 224)
+
+#: The ConvNets evaluated in the paper's Tables 1 and 3.
+DEFAULT_MODELS: tuple[str, ...] = (
+    "alexnet",
+    "vgg11",
+    "vgg16",
+    "resnet18",
+    "resnet50",
+    "wide_resnet50_2",
+    "resnext50_32x4d",
+    "squeezenet1_0",
+    "mobilenet_v2",
+    "mobilenet_v3_large",
+    "efficientnet_b0",
+    "regnet_x_400mf",
+    "regnet_x_8gf",
+    "densenet121",
+)
+
+
+def _valid_images(model: str, image_sizes: Sequence[int]) -> list[int]:
+    min_size = get_entry(model).min_image_size
+    return [s for s in image_sizes if s >= min_size]
+
+
+@lru_cache(maxsize=1024)
+def block_profile(block_name: str, image_size: int) -> CostProfile:
+    """Cached cost profile of a Table 2 block at a given parent image size."""
+    for spec in BLOCK_CATALOGUE:
+        if spec.name == block_name:
+            return profile_graph(build_block(spec, image_size))
+    raise KeyError(f"unknown block {block_name!r}")
+
+
+def inference_campaign(
+    models: Sequence[str] = DEFAULT_MODELS,
+    device: DeviceSpec = A100_80GB,
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    image_sizes: Sequence[int] = DEFAULT_IMAGE_SIZES,
+    seed: int = 0,
+    reps: int = 1,
+    max_seconds: float | None = None,
+) -> Dataset:
+    """Measure inference across the sweep grid on one device.
+
+    ``max_seconds`` skips configurations whose estimated runtime exceeds the
+    budget — the practical cap any real campaign applies (a batch-2048
+    VGG16 run on one CPU core would take the better part of an hour).
+    """
+    executor = SimulatedExecutor(device, seed=seed)
+    data = Dataset()
+    for model in models:
+        for image in _valid_images(model, image_sizes):
+            profile = zoo_profile(model, image)
+            features = ConvNetFeatures.from_profile(profile)
+            for batch in batch_sizes:
+                if not fits(profile, batch, device, training=False):
+                    continue
+                if (
+                    max_seconds is not None
+                    and executor.forward_time_clean(profile, batch)
+                    > max_seconds
+                ):
+                    continue
+                for rep in range(reps):
+                    t = executor.measure_inference(profile, batch, rep=rep)
+                    data.append(
+                        TimingRecord(
+                            model=model,
+                            device=device.name,
+                            image_size=image,
+                            batch=batch,
+                            nodes=1,
+                            devices=1,
+                            scenario="inference",
+                            features=features,
+                            t_fwd=t,
+                            rep=rep,
+                        )
+                    )
+    return data
+
+
+def training_campaign(
+    models: Sequence[str] = DEFAULT_MODELS,
+    device: DeviceSpec = A100_80GB,
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    image_sizes: Sequence[int] = DEFAULT_IMAGE_SIZES,
+    seed: int = 0,
+    reps: int = 1,
+    max_seconds: float | None = None,
+) -> Dataset:
+    """Measure single-device training steps across the sweep grid."""
+    executor = SimulatedExecutor(device, seed=seed)
+    data = Dataset()
+    for model in models:
+        for image in _valid_images(model, image_sizes):
+            profile = zoo_profile(model, image)
+            features = ConvNetFeatures.from_profile(profile)
+            for batch in batch_sizes:
+                if not fits(profile, batch, device, training=True):
+                    continue
+                if max_seconds is not None and (
+                    executor.forward_time_clean(profile, batch)
+                    + executor.backward_time_clean(profile, batch)
+                ) > max_seconds:
+                    continue
+                for rep in range(reps):
+                    phases = executor.measure_training_step(
+                        profile, batch, rep=rep
+                    )
+                    data.append(
+                        TimingRecord(
+                            model=model,
+                            device=device.name,
+                            image_size=image,
+                            batch=batch,
+                            nodes=1,
+                            devices=1,
+                            scenario="training",
+                            features=features,
+                            t_fwd=phases.forward,
+                            t_bwd=phases.backward,
+                            t_grad=phases.grad_update,
+                            rep=rep,
+                        )
+                    )
+    return data
+
+
+def distributed_campaign(
+    models: Sequence[str] = DEFAULT_MODELS,
+    node_counts: Sequence[int] = (1, 2, 4, 8),
+    gpus_per_node: int = 4,
+    device: DeviceSpec = A100_80GB,
+    batch_sizes: Sequence[int] = (16, 32, 64, 128, 256),
+    image_sizes: Sequence[int] = (64, 128, 192),
+    seed: int = 0,
+    reps: int = 1,
+) -> Dataset:
+    """Measure distributed training steps across node counts (weak scaling:
+    ``batch`` is the per-device mini-batch)."""
+    data = Dataset()
+    for nodes in node_counts:
+        cluster = ClusterSpec(
+            nodes=nodes, gpus_per_node=gpus_per_node, device=device
+        )
+        trainer = DistributedTrainer(cluster, seed=seed)
+        for model in models:
+            for image in _valid_images(model, image_sizes):
+                profile = zoo_profile(model, image)
+                features = ConvNetFeatures.from_profile(profile)
+                for batch in batch_sizes:
+                    if not fits(profile, batch, device, training=True):
+                        continue
+                    for rep in range(reps):
+                        phases = trainer.measure_step(profile, batch, rep=rep)
+                        data.append(
+                            TimingRecord(
+                                model=model,
+                                device=device.name,
+                                image_size=image,
+                                batch=batch,
+                                nodes=nodes,
+                                devices=cluster.total_devices,
+                                scenario="distributed",
+                                features=features,
+                                t_fwd=phases.forward,
+                                t_bwd=phases.backward,
+                                t_grad=phases.grad_update,
+                                rep=rep,
+                            )
+                        )
+    return data
+
+
+def block_campaign(
+    blocks: Sequence[BlockSpec] = BLOCK_CATALOGUE,
+    device: DeviceSpec = A100_80GB,
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    image_sizes: Sequence[int] = DEFAULT_IMAGE_SIZES,
+    seed: int = 0,
+    reps: int = 1,
+) -> Dataset:
+    """Measure block-wise inference (Table 2 / Figure 4)."""
+    executor = SimulatedExecutor(device, seed=seed)
+    data = Dataset()
+    for spec in blocks:
+        min_size = get_entry(spec.model).min_image_size
+        for image in image_sizes:
+            if image < min_size:
+                continue
+            profile = block_profile(spec.name, image)
+            features = ConvNetFeatures.from_profile(profile)
+            for batch in batch_sizes:
+                if not fits(profile, batch, device, training=False):
+                    continue
+                for rep in range(reps):
+                    t = executor.measure_inference(profile, batch, rep=rep)
+                    data.append(
+                        TimingRecord(
+                            model=spec.name,
+                            device=device.name,
+                            image_size=image,
+                            batch=batch,
+                            nodes=1,
+                            devices=1,
+                            scenario="inference",
+                            features=features,
+                            t_fwd=t,
+                            rep=rep,
+                        )
+                    )
+    return data

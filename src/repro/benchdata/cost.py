@@ -1,0 +1,52 @@
+"""Modeling-effort accounting (the Table 4 "Modeling effort" column).
+
+The paper's selling point is cheap model construction: "<5000 data points"
+and a linear solve.  These helpers quantify a campaign's cost — the
+simulated wall time that would have been spent benchmarking — so the
+effort claim in the comparison table is a measured number, not a slogan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchdata.records import Dataset
+
+
+@dataclass(frozen=True)
+class CampaignCost:
+    """Benchmarking effort of one campaign."""
+
+    n_points: int
+    #: Total measured wall time across all records, seconds.
+    benchmark_seconds: float
+    n_models: int
+    scenarios: tuple[str, ...]
+
+    @property
+    def benchmark_hours(self) -> float:
+        return self.benchmark_seconds / 3600.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.n_points} data points over {self.n_models} models, "
+            f"{self.benchmark_seconds:.0f} s "
+            f"({self.benchmark_hours:.2f} h) of benchmark time"
+        )
+
+
+def campaign_cost(data: Dataset, warmup_factor: float = 2.0) -> CampaignCost:
+    """Effort of collecting a campaign.
+
+    ``warmup_factor`` accounts for the warm-up/repeat runs a real harness
+    performs around each timed measurement.
+    """
+    if warmup_factor < 1.0:
+        raise ValueError("warmup_factor must be >= 1")
+    total = sum(r.t_total for r in data) * warmup_factor
+    return CampaignCost(
+        n_points=len(data),
+        benchmark_seconds=total,
+        n_models=len(data.models()),
+        scenarios=tuple(sorted({r.scenario for r in data})),
+    )

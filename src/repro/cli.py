@@ -1,0 +1,270 @@
+"""Command-line interface.
+
+Mirrors how the paper's tooling would be used operationally::
+
+    repro models                               # list the zoo
+    repro campaign --scenario inference -o data.json
+    repro fit --data data.json --kind forward -o model.json
+    repro predict --model model.json --network resnet50 \
+                  --image 224 --batch 64
+    repro experiment table1                    # regenerate a paper artefact
+
+Every subcommand is a thin shell over the library API; nothing here is
+logic of its own.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.benchdata import (
+    Dataset,
+    distributed_campaign,
+    inference_campaign,
+    training_campaign,
+)
+from repro.benchdata.records import ConvNetFeatures
+from repro.core.epoch import epoch_time, total_training_time
+from repro.core.forward import ForwardModel
+from repro.core.persistence import load_model, save_model
+from repro.core.training import TrainingStepModel
+from repro.hardware.device import DEVICE_PRESETS, get_device
+from repro.hardware.roofline import zoo_profile
+from repro.zoo import available_models, get_entry
+from repro.zoo.blocks import BLOCK_CATALOGUE
+
+_EXPERIMENTS = {
+    "fig1": "repro.experiments.fig1:run_fig1",
+    "fig2": "repro.experiments.fig2:run_fig2",
+    "table1": "repro.experiments.table1:run_table1",
+    "table2": "repro.experiments.table2:run_table2",
+    "fig6": "repro.experiments.fig6:run_fig6",
+    "table3-single": "repro.experiments.table3_single:run_table3_single",
+    "table3-distributed": (
+        "repro.experiments.table3_distributed:run_table3_distributed"
+    ),
+    "fig8": "repro.experiments.fig8:run_fig8",
+    "fig9": "repro.experiments.fig9:run_fig9",
+    "table4": "repro.experiments.table4:run_table4",
+    "strong-scaling": (
+        "repro.experiments.strong_scaling:run_strong_scaling"
+    ),
+}
+
+
+def _cmd_models(_args: argparse.Namespace) -> int:
+    print(f"{'name':22s}{'display':18s}{'family':12s}{'min image':>9s}")
+    for name in available_models():
+        entry = get_entry(name)
+        print(
+            f"{name:22s}{entry.display:18s}{entry.family:12s}"
+            f"{entry.min_image_size:9d}"
+        )
+    return 0
+
+
+def _cmd_blocks(_args: argparse.Namespace) -> int:
+    print(f"{'block':22s}{'source model':20s}{'scope'}")
+    for spec in BLOCK_CATALOGUE:
+        print(f"{spec.name:22s}{spec.model:20s}{spec.scope}")
+    return 0
+
+
+def _cmd_devices(_args: argparse.Namespace) -> int:
+    print(f"{'name':24s}{'kind':6s}{'peak TFLOP/s':>13s}{'BW GB/s':>9s}"
+          f"{'memory GB':>10s}")
+    for name, dev in DEVICE_PRESETS.items():
+        print(
+            f"{name:24s}{dev.kind:6s}{dev.peak_flops / 1e12:13.1f}"
+            f"{dev.mem_bandwidth / 1e9:9.0f}{dev.memory_bytes / 1e9:10.0f}"
+        )
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    kwargs = dict(device=device, seed=args.seed)
+    if args.models:
+        kwargs["models"] = tuple(args.models)
+    if args.scenario == "inference":
+        if args.max_seconds is not None:
+            kwargs["max_seconds"] = args.max_seconds
+        data = inference_campaign(**kwargs)
+    elif args.scenario == "blocks":
+        from repro.benchdata import block_campaign
+
+        kwargs.pop("models", None)  # block campaigns use the catalogue
+        data = block_campaign(**kwargs)
+    elif args.scenario == "training":
+        data = training_campaign(**kwargs)
+    elif args.scenario == "distributed":
+        data = distributed_campaign(
+            node_counts=tuple(args.nodes), **kwargs
+        )
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(args.scenario)
+    data.to_json(args.out)
+    print(f"wrote {len(data)} records to {args.out} ({data.summary()})")
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    data = Dataset.from_json(args.data)
+    if args.exclude:
+        data = data.excluding_model(args.exclude)
+    model = (
+        ForwardModel() if args.kind == "forward" else TrainingStepModel()
+    )
+    model.fit(data)
+    save_model(model, args.out)
+    metrics = model.evaluate(data)
+    print(f"fitted {args.kind} model on {len(data)} records: {metrics}")
+    print(f"saved to {args.out}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    profile = zoo_profile(args.network, args.image)
+    features = ConvNetFeatures.from_profile(profile)
+    if isinstance(model, TrainingStepModel):
+        pred = model.predict_one(
+            features, args.batch, devices=args.devices, nodes=args.nodes
+        )
+        step = pred.total
+        print(f"predicted training step: {step * 1e3:.2f} ms "
+              f"(fwd {pred.forward * 1e3:.2f} ms, "
+              f"bwd+update {pred.backward_plus_update * 1e3:.2f} ms)")
+        if args.dataset_size:
+            t_epoch = epoch_time(
+                step, args.dataset_size, args.batch, args.devices
+            )
+            print(f"predicted epoch: {t_epoch / 60:.1f} min")
+            if args.epochs:
+                total = total_training_time(
+                    step, args.dataset_size, args.batch, args.epochs,
+                    args.devices,
+                )
+                print(f"predicted full run ({args.epochs} epochs): "
+                      f"{total / 3600:.2f} h")
+    elif isinstance(model, ForwardModel):
+        t = model.predict_one(features, args.batch)
+        print(f"predicted inference: {t * 1e3:.3f} ms "
+              f"({args.batch / t:.0f} images/s)")
+    else:  # pragma: no cover - persistence restricts kinds
+        raise SystemExit(f"cannot predict with {type(model).__name__}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.model_report import block_report
+    from repro.zoo import build_model
+
+    model = load_model(args.model)
+    if not isinstance(model, ForwardModel):
+        raise SystemExit("report requires a forward model (fit --kind forward)")
+    graph = build_model(args.network, args.image)
+    report = block_report(graph, model, batch=args.batch)
+    print(report.render())
+    bottleneck = report.bottleneck()
+    print(
+        f"\nbottleneck: {bottleneck.block} "
+        f"({bottleneck.share:.0%} of predicted block time)"
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    spec = _EXPERIMENTS[args.id]
+    module_name, func_name = spec.split(":")
+    runner = getattr(importlib.import_module(module_name), func_name)
+    result = runner()
+    print(result.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ConvMeter: ConvNet runtime and scalability prediction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list zoo architectures").set_defaults(
+        func=_cmd_models
+    )
+    sub.add_parser("blocks", help="list the Table 2 block catalogue"
+                   ).set_defaults(func=_cmd_blocks)
+    sub.add_parser("devices", help="list device presets").set_defaults(
+        func=_cmd_devices
+    )
+
+    campaign = sub.add_parser("campaign", help="run a benchmark campaign")
+    campaign.add_argument(
+        "--scenario",
+        choices=("inference", "training", "distributed", "blocks"),
+        default="inference",
+    )
+    campaign.add_argument("--device", default="a100-80gb",
+                          choices=sorted(DEVICE_PRESETS))
+    campaign.add_argument("--models", nargs="*", default=None)
+    campaign.add_argument("--nodes", nargs="*", type=int,
+                          default=(1, 2, 4, 8),
+                          help="node counts (distributed scenario)")
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--max-seconds", type=float, default=None,
+                          help="skip configs slower than this estimate")
+    campaign.add_argument("-o", "--out", required=True)
+    campaign.set_defaults(func=_cmd_campaign)
+
+    fit = sub.add_parser("fit", help="fit a performance model")
+    fit.add_argument("--data", required=True, help="campaign JSON file")
+    fit.add_argument("--kind", choices=("forward", "step"),
+                     default="forward")
+    fit.add_argument("--exclude", default=None,
+                     help="hold out one model (leave-one-out)")
+    fit.add_argument("-o", "--out", required=True)
+    fit.set_defaults(func=_cmd_fit)
+
+    predict = sub.add_parser("predict", help="predict with a saved model")
+    predict.add_argument("--model", required=True, help="model JSON file")
+    predict.add_argument("--network", required=True)
+    predict.add_argument("--image", type=int, default=224)
+    predict.add_argument("--batch", type=int, default=1)
+    predict.add_argument("--devices", type=int, default=1)
+    predict.add_argument("--nodes", type=int, default=1)
+    predict.add_argument("--dataset-size", type=int, default=None)
+    predict.add_argument("--epochs", type=int, default=None)
+    predict.set_defaults(func=_cmd_predict)
+
+    report = sub.add_parser(
+        "report", help="block-level latency report for one network"
+    )
+    report.add_argument("--model", required=True,
+                        help="saved forward model JSON")
+    report.add_argument("--network", required=True)
+    report.add_argument("--image", type=int, default=224)
+    report.add_argument("--batch", type=int, default=1)
+    report.set_defaults(func=_cmd_report)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument("id", choices=sorted(_EXPERIMENTS))
+    experiment.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

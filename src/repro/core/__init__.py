@@ -1,0 +1,92 @@
+"""ConvMeter: the paper's performance model.
+
+Linear-regression runtime prediction for ConvNets from inherent network
+metrics (FLOPs, Inputs, Outputs, Weights, Layers):
+
+* :class:`ForwardModel` — inference / forward-pass time (Eq. 2/3),
+* :class:`BackwardModel` — backward-pass time,
+* :class:`GradientUpdateModel` — gradient update (Eq. 4, single / multi node),
+* :class:`CombinedBwdGradModel` — overlapped backward+update, 7 coefficients,
+* :class:`TrainingStepModel` — full training step (Eq. 1) and epoch time,
+* leave-one-out evaluation (:mod:`repro.core.loo`) and scalability analysis
+  (:mod:`repro.core.scalability`).
+"""
+
+from repro.core.metrics import EvalMetrics, evaluate_predictions
+from repro.core.regression import LinearModel
+from repro.core.features import (
+    FORWARD_FEATURES,
+    combined_bwd_grad_design,
+    forward_design,
+    grad_update_design,
+)
+from repro.core.forward import ForwardModel
+from repro.core.training import (
+    BackwardModel,
+    CombinedBwdGradModel,
+    GradientUpdateModel,
+    StepPrediction,
+    TrainingStepModel,
+)
+from repro.core.epoch import (
+    accumulated_step_time,
+    epoch_time,
+    throughput,
+    total_training_time,
+)
+from repro.core.loo import (
+    LeaveOneOutResult,
+    leave_one_out,
+    shared_fit_evaluation,
+)
+from repro.core.scalability import (
+    ScalingPoint,
+    batch_scaling_curve,
+    efficiency,
+    node_scaling_curve,
+    strong_scaling_curve,
+    turning_point,
+)
+from repro.core.blockwise import blockwise_evaluation
+from repro.core.persistence import load_model, save_model
+from repro.core.refinement import compare_refinement, model_specific_fit
+from repro.core.confidence import (
+    bootstrap_coefficients,
+    bootstrap_prediction,
+)
+
+__all__ = [
+    "EvalMetrics",
+    "evaluate_predictions",
+    "LinearModel",
+    "FORWARD_FEATURES",
+    "forward_design",
+    "grad_update_design",
+    "combined_bwd_grad_design",
+    "ForwardModel",
+    "BackwardModel",
+    "GradientUpdateModel",
+    "CombinedBwdGradModel",
+    "TrainingStepModel",
+    "StepPrediction",
+    "epoch_time",
+    "total_training_time",
+    "throughput",
+    "accumulated_step_time",
+    "LeaveOneOutResult",
+    "leave_one_out",
+    "shared_fit_evaluation",
+    "ScalingPoint",
+    "node_scaling_curve",
+    "strong_scaling_curve",
+    "batch_scaling_curve",
+    "efficiency",
+    "turning_point",
+    "blockwise_evaluation",
+    "save_model",
+    "load_model",
+    "model_specific_fit",
+    "compare_refinement",
+    "bootstrap_coefficients",
+    "bootstrap_prediction",
+]

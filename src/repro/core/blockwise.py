@@ -1,0 +1,37 @@
+"""Block-wise inference prediction (Section 4.1.2).
+
+Blocks are extracted as standalone subgraphs, so the forward model applies
+unchanged.  Following Section 4.1 ("all runtime predictions for a given
+device use the same coefficients"), the default protocol fits one set of
+coefficients on the whole block corpus and reports per-block accuracy; a
+leave-one-block-out variant is available for stricter generalisation
+studies.
+"""
+
+from __future__ import annotations
+
+from repro.benchdata.records import Dataset
+from repro.core.forward import ForwardModel
+from repro.core.loo import (
+    LeaveOneOutResult,
+    leave_one_out,
+    shared_fit_evaluation,
+)
+
+
+def blockwise_evaluation(
+    block_data: Dataset, method: str = "ols", protocol: str = "shared"
+) -> LeaveOneOutResult:
+    """Per-block accuracy of the forward model on block measurements.
+
+    ``protocol`` is ``"shared"`` (one fit over all blocks, the paper's
+    Section 4.1 convention) or ``"loo"`` (each block held out of its own
+    fit).
+    """
+    factory = lambda: ForwardModel(method=method)  # noqa: E731
+    measured = lambda r: r.t_fwd  # noqa: E731
+    if protocol == "shared":
+        return shared_fit_evaluation(block_data, factory, measured)
+    if protocol == "loo":
+        return leave_one_out(block_data, factory, measured)
+    raise ValueError(f"unknown protocol {protocol!r}")

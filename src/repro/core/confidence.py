@@ -1,0 +1,119 @@
+"""Bootstrap confidence intervals for fitted coefficients and predictions.
+
+The paper reports point estimates; an operator deciding on cluster
+purchases wants to know how stable those estimates are under resampling of
+the benchmark campaign.  Nonparametric bootstrap over records gives
+distribution-free intervals without further benchmarking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.benchdata.records import ConvNetFeatures, Dataset, TimingRecord
+from repro.core.forward import ForwardModel
+
+
+@dataclass(frozen=True)
+class CoefficientInterval:
+    """Bootstrap percentile interval for one coefficient."""
+
+    name: str
+    point: float
+    lo: float
+    hi: float
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+
+@dataclass(frozen=True)
+class PredictionInterval:
+    """Bootstrap interval for one prediction."""
+
+    point: float
+    lo: float
+    hi: float
+
+    @property
+    def relative_width(self) -> float:
+        if self.point == 0:
+            return float("inf")
+        return (self.hi - self.lo) / self.point
+
+
+def _resample(
+    records: list[TimingRecord], rng: np.random.Generator
+) -> Dataset:
+    idx = rng.integers(0, len(records), len(records))
+    return Dataset([records[i] for i in idx])
+
+
+def bootstrap_coefficients(
+    data: Dataset,
+    model_factory: Callable[[], ForwardModel] = ForwardModel,
+    n_boot: int = 200,
+    alpha: float = 0.05,
+    seed: int = 0,
+) -> list[CoefficientInterval]:
+    """Percentile bootstrap intervals for every fitted coefficient."""
+    records = list(data)
+    if len(records) < 8:
+        raise ValueError("bootstrap needs at least 8 records")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    point_model = model_factory()
+    point_model.fit(records)
+    point = point_model.coefficients()
+    names = list(point)
+
+    rng = np.random.default_rng(seed)
+    samples = np.empty((n_boot, len(names)))
+    for b in range(n_boot):
+        model = model_factory()
+        model.fit(_resample(records, rng))
+        coeffs = model.coefficients()
+        samples[b] = [coeffs[n] for n in names]
+
+    lo_q, hi_q = 100 * alpha / 2, 100 * (1 - alpha / 2)
+    los = np.percentile(samples, lo_q, axis=0)
+    his = np.percentile(samples, hi_q, axis=0)
+    return [
+        CoefficientInterval(name=n, point=point[n], lo=float(lo),
+                            hi=float(hi))
+        for n, lo, hi in zip(names, los, his)
+    ]
+
+
+def bootstrap_prediction(
+    data: Dataset,
+    features: ConvNetFeatures,
+    batch: int,
+    model_factory: Callable[[], ForwardModel] = ForwardModel,
+    n_boot: int = 200,
+    alpha: float = 0.05,
+    seed: int = 0,
+) -> PredictionInterval:
+    """Percentile bootstrap interval for one predicted runtime."""
+    records = list(data)
+    if len(records) < 8:
+        raise ValueError("bootstrap needs at least 8 records")
+    point_model = model_factory()
+    point_model.fit(records)
+    point = point_model.predict_one(features, batch)
+
+    rng = np.random.default_rng(seed)
+    preds = np.empty(n_boot)
+    for b in range(n_boot):
+        model = model_factory()
+        model.fit(_resample(records, rng))
+        preds[b] = model.predict_one(features, batch)
+    lo, hi = np.percentile(preds, [100 * alpha / 2, 100 * (1 - alpha / 2)])
+    return PredictionInterval(point=point, lo=float(lo), hi=float(hi))

@@ -1,0 +1,65 @@
+"""Epoch- and full-training-time arithmetic (Section 2).
+
+``T_epoch = D / (B·N) · T_iter`` where D is the dataset size, B the
+per-device batch size, N the number of devices, and ``T_iter`` the predicted
+training-step time.  The learning rate deliberately does not appear — it is
+applied every iteration regardless of value and does not change the epoch
+time (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def steps_per_epoch(dataset_size: int, batch: int, devices: int = 1) -> int:
+    """Number of training steps per epoch, ``ceil(D / (B·N))``."""
+    if dataset_size < 1 or batch < 1 or devices < 1:
+        raise ValueError("dataset size, batch, and devices must be positive")
+    return math.ceil(dataset_size / (batch * devices))
+
+
+def epoch_time(
+    iter_time: float, dataset_size: int, batch: int, devices: int = 1
+) -> float:
+    """Wall time of one epoch given a predicted step time."""
+    if iter_time < 0:
+        raise ValueError("iteration time must be non-negative")
+    return steps_per_epoch(dataset_size, batch, devices) * iter_time
+
+
+def total_training_time(
+    iter_time: float, dataset_size: int, batch: int, epochs: int,
+    devices: int = 1,
+) -> float:
+    """Wall time of a full training run."""
+    if epochs < 1:
+        raise ValueError("epochs must be positive")
+    return epochs * epoch_time(iter_time, dataset_size, batch, devices)
+
+
+def throughput(iter_time: float, batch: int, devices: int = 1) -> float:
+    """Images per second of one training step (the Figure 8/9 y-axis)."""
+    if iter_time <= 0:
+        raise ValueError("iteration time must be positive")
+    return batch * devices / iter_time
+
+
+def accumulated_step_time(
+    micro_step_time: float,
+    grad_update_time: float,
+    accumulation_steps: int,
+) -> float:
+    """Effective step time under gradient accumulation (Section 3's
+    "effects of optimizations such as gradient accumulation").
+
+    ``micro_step_time`` is the forward+backward time of one micro-batch;
+    the optimizer/synchronisation step runs once per ``accumulation_steps``
+    micro-batches, emulating a batch ``accumulation_steps ×`` larger than
+    device memory allows.
+    """
+    if accumulation_steps < 1:
+        raise ValueError("accumulation_steps must be >= 1")
+    if micro_step_time < 0 or grad_update_time < 0:
+        raise ValueError("times must be non-negative")
+    return accumulation_steps * micro_step_time + grad_update_time

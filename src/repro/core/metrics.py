@@ -1,0 +1,79 @@
+"""Evaluation metrics (Section 4, "Metrics").
+
+The paper reports R², RMSE, range-normalised RMSE (NRMSE), and MAPE for
+every experiment; this module computes all four plus the record count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EvalMetrics:
+    """The paper's four accuracy metrics for one set of predictions."""
+
+    r2: float
+    rmse: float
+    nrmse: float
+    mape: float
+    n: int
+
+    def __str__(self) -> str:
+        return (
+            f"R²={self.r2:.3f} RMSE={self.rmse:.4g}s "
+            f"NRMSE={self.nrmse:.2f} MAPE={self.mape:.2f} (n={self.n})"
+        )
+
+
+def r_squared(measured: np.ndarray, predicted: np.ndarray) -> float:
+    """Coefficient of determination."""
+    ss_res = float(np.sum((measured - predicted) ** 2))
+    ss_tot = float(np.sum((measured - measured.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def rmse(measured: np.ndarray, predicted: np.ndarray) -> float:
+    """Root mean squared error (absolute, same unit as the measurements)."""
+    return float(np.sqrt(np.mean((measured - predicted) ** 2)))
+
+
+def nrmse(measured: np.ndarray, predicted: np.ndarray) -> float:
+    """RMSE normalised by the range of the measured values (the paper's
+    'relative RMSE normalized by the range of the data points')."""
+    span = float(measured.max() - measured.min())
+    if span == 0.0:
+        return 0.0
+    return rmse(measured, predicted) / span
+
+
+def mape(measured: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean absolute percentage error, as a fraction (0.25 = 25%)."""
+    if np.any(measured == 0):
+        raise ValueError("MAPE undefined for zero measurements")
+    return float(np.mean(np.abs((predicted - measured) / measured)))
+
+
+def evaluate_predictions(
+    measured: np.ndarray, predicted: np.ndarray
+) -> EvalMetrics:
+    """All four paper metrics for one prediction set."""
+    measured = np.asarray(measured, dtype=np.float64)
+    predicted = np.asarray(predicted, dtype=np.float64)
+    if measured.shape != predicted.shape:
+        raise ValueError(
+            f"shape mismatch: {measured.shape} vs {predicted.shape}"
+        )
+    if measured.size == 0:
+        raise ValueError("cannot evaluate empty prediction set")
+    return EvalMetrics(
+        r2=r_squared(measured, predicted),
+        rmse=rmse(measured, predicted),
+        nrmse=nrmse(measured, predicted),
+        mape=mape(measured, predicted),
+        n=int(measured.size),
+    )

@@ -1,0 +1,128 @@
+"""Saving and loading fitted performance models.
+
+A fitted ConvMeter model is just named coefficients plus its structural
+configuration, so persistence is a small JSON document — the property the
+paper highlights ("we only need to compute and store a few coefficients").
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.forward import ForwardModel
+from repro.core.regression import LinearModel
+from repro.core.training import (
+    BackwardModel,
+    CombinedBwdGradModel,
+    GradientUpdateModel,
+    TrainingStepModel,
+)
+
+_FORMAT_VERSION = 1
+
+
+def _linear_state(model: LinearModel) -> dict[str, Any]:
+    return {
+        "method": model.method,
+        "weighting": model.weighting,
+        "feature_names": list(model.feature_names),
+        "coef": None if model.coef is None else model.coef.tolist(),
+    }
+
+
+def _restore_linear(state: dict[str, Any]) -> LinearModel:
+    model = LinearModel(
+        method=state["method"],
+        weighting=state["weighting"],
+        feature_names=tuple(state["feature_names"]),
+    )
+    if state["coef"] is not None:
+        model.coef = np.asarray(state["coef"], dtype=np.float64)
+    return model
+
+
+def model_to_dict(model: object) -> dict[str, Any]:
+    """Serialise any fitted ConvMeter model to a JSON-safe dict."""
+    if isinstance(model, ForwardModel):  # covers BackwardModel too
+        kind = (
+            "backward" if isinstance(model, BackwardModel) else "forward"
+        )
+        return {
+            "format": _FORMAT_VERSION,
+            "kind": kind,
+            "metric_names": list(model.metric_names),
+            "phase": model.phase,
+            "linear": _linear_state(model.model),
+        }
+    if isinstance(model, GradientUpdateModel):
+        return {
+            "format": _FORMAT_VERSION,
+            "kind": "grad_update",
+            "multi_node": model.multi_node,
+            "linear": _linear_state(model.model),
+        }
+    if isinstance(model, CombinedBwdGradModel):
+        return {
+            "format": _FORMAT_VERSION,
+            "kind": "combined_bwd_grad",
+            "method": model.method,
+            "single": _linear_state(model.single),
+            "multi": _linear_state(model.multi),
+        }
+    if isinstance(model, TrainingStepModel):
+        return {
+            "format": _FORMAT_VERSION,
+            "kind": "training_step",
+            "forward": model_to_dict(model.forward),
+            "bwd_grad": model_to_dict(model.bwd_grad),
+        }
+    raise TypeError(f"cannot serialise {type(model).__name__}")
+
+
+def model_from_dict(state: dict[str, Any]) -> object:
+    """Inverse of :func:`model_to_dict`."""
+    if state.get("format") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported model format {state.get('format')!r}"
+        )
+    kind = state["kind"]
+    if kind in ("forward", "backward"):
+        model = (
+            BackwardModel()
+            if kind == "backward"
+            else ForwardModel(
+                metric_names=tuple(state["metric_names"]),
+                phase=state["phase"],
+            )
+        )
+        model.model = _restore_linear(state["linear"])
+        return model
+    if kind == "grad_update":
+        model = GradientUpdateModel(multi_node=state["multi_node"])
+        model.model = _restore_linear(state["linear"])
+        return model
+    if kind == "combined_bwd_grad":
+        model = CombinedBwdGradModel(method=state["method"])
+        model.single = _restore_linear(state["single"])
+        model.multi = _restore_linear(state["multi"])
+        return model
+    if kind == "training_step":
+        model = TrainingStepModel()
+        model.forward = model_from_dict(state["forward"])
+        model.bwd_grad = model_from_dict(state["bwd_grad"])
+        return model
+    raise ValueError(f"unknown model kind {kind!r}")
+
+
+def save_model(model: object, path: str | Path) -> None:
+    """Write a fitted model to a JSON file."""
+    Path(path).write_text(json.dumps(model_to_dict(model), indent=2))
+
+
+def load_model(path: str | Path) -> object:
+    """Load a fitted model saved by :func:`save_model`."""
+    return model_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,95 @@
+"""Model-specific coefficient refinement (Section 4.3).
+
+"Suppose we are interested in the scalability of known models instead of
+predicting the runtime of unknown models.  In that case, we can tune the
+coefficients based on a specific ConvNet of interest to predict its
+scalability more accurately.  We do not need to rerun benchmarks and can
+reuse the data and apply the regression on the specific ConvNet."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.benchdata.records import Dataset, TimingRecord
+from repro.core.metrics import EvalMetrics, evaluate_predictions
+
+
+@dataclass(frozen=True)
+class RefinementComparison:
+    """Accuracy of the generic (leave-one-out) vs refined (model-specific)
+    coefficients on the same ConvNet."""
+
+    model: str
+    generic: EvalMetrics
+    refined: EvalMetrics
+
+    @property
+    def mape_improvement(self) -> float:
+        """Fraction of the generic MAPE removed by refinement."""
+        if self.generic.mape == 0.0:
+            return 0.0
+        return 1.0 - self.refined.mape / self.generic.mape
+
+
+def model_specific_fit(
+    data: Dataset,
+    model_name: str,
+    factory: Callable[[], object],
+):
+    """Refit a predictor on one ConvNet's existing campaign records.
+
+    No new benchmarks are run; the returned predictor trades generality
+    for accuracy on this one network.
+    """
+    own = data.for_model(model_name)
+    if len(own) == 0:
+        raise ValueError(f"no records for model {model_name!r}")
+    predictor = factory()
+    predictor.fit(own)
+    return predictor
+
+
+def compare_refinement(
+    data: Dataset,
+    model_name: str,
+    factory: Callable[[], object],
+    measured_of: Callable[[TimingRecord], float],
+    holdout_fraction: float = 0.5,
+    seed: int = 0,
+) -> RefinementComparison:
+    """Quantify the refinement gain on held-out records of one ConvNet.
+
+    The model's own records are split in two; the refined predictor is
+    fitted on one half and both predictors are scored on the other, so the
+    refined model never sees its evaluation records.
+    """
+    if not 0.0 < holdout_fraction < 1.0:
+        raise ValueError("holdout_fraction must be in (0, 1)")
+    own = list(data.for_model(model_name))
+    if len(own) < 4:
+        raise ValueError("need at least 4 records to split for refinement")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(own))
+    n_eval = max(1, int(len(own) * holdout_fraction))
+    eval_records = [own[i] for i in order[:n_eval]]
+    fit_records = [own[i] for i in order[n_eval:]]
+
+    generic = factory()
+    generic.fit(data.excluding_model(model_name))
+    refined = factory()
+    refined.fit(Dataset(fit_records))
+
+    measured = np.array([measured_of(r) for r in eval_records])
+    return RefinementComparison(
+        model=model_name,
+        generic=evaluate_predictions(
+            measured, np.asarray(generic.predict(eval_records))
+        ),
+        refined=evaluate_predictions(
+            measured, np.asarray(refined.predict(eval_records))
+        ),
+    )

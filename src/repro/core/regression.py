@@ -1,0 +1,116 @@
+"""Linear-regression engine.
+
+ConvMeter deliberately uses plain linear regression (Section 3.1: "We opted
+for the linear regression method for simplicity and also due to its
+reasonably high performance within our context").  Two solvers are offered:
+
+* ``"ols"`` — ordinary least squares via ``numpy.linalg.lstsq``;
+* ``"nnls"`` — non-negative least squares via ``scipy.optimize.nnls``,
+  useful when a model will be extrapolated far outside the fitted range
+  (scalability curves) and negative runtime contributions would be
+  unphysical.
+
+Feature columns span ~10 orders of magnitude (FLOPs ~1e9 vs the intercept),
+so columns are scaled to unit maximum before solving and the coefficients
+are rescaled back — numerically equivalent, far better conditioned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import nnls as _scipy_nnls
+
+
+@dataclass
+class LinearModel:
+    """A fitted linear map ``y = X @ coef``.
+
+    The design matrix convention throughout ConvMeter is that the intercept,
+    when present, is an explicit all-ones column of ``X``.
+    """
+
+    method: str = "ols"
+    #: "relative" re-weights each row by 1/y so the solver minimises
+    #: *relative* residuals — measurements span five orders of magnitude
+    #: (microseconds to minutes), and unweighted least squares would trade
+    #: the entire small-configuration regime away for the largest records.
+    #: "none" is plain least squares.
+    weighting: str = "relative"
+    coef: np.ndarray | None = field(default=None, repr=False)
+    #: Column names, for reporting fitted coefficients.
+    feature_names: tuple[str, ...] = ()
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "LinearModel":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("design matrix must be 2-D")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"rows of X ({X.shape[0]}) do not match y ({y.shape[0]})"
+            )
+        if X.shape[0] < X.shape[1]:
+            raise ValueError(
+                f"underdetermined fit: {X.shape[0]} rows for "
+                f"{X.shape[1]} coefficients"
+            )
+        if sample_weight is None:
+            if self.weighting == "relative":
+                if np.any(y <= 0):
+                    raise ValueError(
+                        "relative weighting requires positive measurements"
+                    )
+                sample_weight = 1.0 / y
+            elif self.weighting == "none":
+                sample_weight = np.ones_like(y)
+            else:
+                raise ValueError(f"unknown weighting {self.weighting!r}")
+        w = np.asarray(sample_weight, dtype=np.float64)
+        if np.any(w < 0):
+            raise ValueError("sample weights must be non-negative")
+        Xw = X * w[:, None]
+        yw = y * w
+        scale = np.abs(Xw).max(axis=0)
+        scale[scale == 0.0] = 1.0
+        Xs = Xw / scale
+        if self.method == "ols":
+            coef_s, *_ = np.linalg.lstsq(Xs, yw, rcond=None)
+        elif self.method == "nnls":
+            coef_s, _ = _scipy_nnls(Xs, yw)
+        else:
+            raise ValueError(f"unknown method {self.method!r}")
+        self.coef = coef_s / scale
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.coef is not None
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        if X.shape[1] != self.coef.shape[0]:
+            raise ValueError(
+                f"design matrix has {X.shape[1]} columns, model expects "
+                f"{self.coef.shape[0]}"
+            )
+        return X @ self.coef
+
+    def coefficients(self) -> dict[str, float]:
+        """Named coefficients for reporting."""
+        if self.coef is None:
+            raise RuntimeError("model is not fitted")
+        names = self.feature_names or tuple(
+            f"c{i + 1}" for i in range(self.coef.shape[0])
+        )
+        return dict(zip(names, self.coef.tolist()))

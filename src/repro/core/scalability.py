@@ -1,0 +1,155 @@
+"""Scalability analysis (Section 4.3).
+
+Turns a fitted :class:`~repro.core.training.TrainingStepModel` into
+throughput-versus-nodes (Figure 8) and throughput-versus-batch-size
+(Figure 9) curves, finds the diminishing-return turning point, and supports
+both weak scaling (fixed per-device batch) and strong scaling (fixed global
+batch) — predictions extend beyond the measured range, including batch
+sizes that would exceed device memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.benchdata.records import ConvNetFeatures
+from repro.core.epoch import throughput as _throughput
+from repro.core.training import TrainingStepModel
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a scalability curve."""
+
+    #: Sweep coordinate: node count (Fig. 8) or global batch size (Fig. 9).
+    x: int
+    #: Total computing devices at this point.
+    devices: int
+    #: Per-device mini-batch size.
+    per_device_batch: int
+    #: Predicted step time, seconds.
+    step_time: float
+    #: Predicted throughput, images/second.
+    throughput: float
+    #: Measured throughput (if available) and its standard deviation.
+    measured: float | None = None
+    measured_std: float | None = None
+
+
+def node_scaling_curve(
+    model: TrainingStepModel,
+    features: ConvNetFeatures,
+    per_device_batch: int,
+    node_counts: Sequence[int],
+    gpus_per_node: int = 4,
+) -> list[ScalingPoint]:
+    """Weak-scaling throughput prediction across node counts (Figure 8)."""
+    points = []
+    for nodes in node_counts:
+        devices = nodes * gpus_per_node
+        pred = model.predict_one(features, per_device_batch, devices, nodes)
+        points.append(
+            ScalingPoint(
+                x=nodes,
+                devices=devices,
+                per_device_batch=per_device_batch,
+                step_time=pred.total,
+                throughput=_throughput(pred.total, per_device_batch, devices),
+            )
+        )
+    return points
+
+
+def strong_scaling_curve(
+    model: TrainingStepModel,
+    features: ConvNetFeatures,
+    global_batch: int,
+    node_counts: Sequence[int],
+    gpus_per_node: int = 4,
+) -> list[ScalingPoint]:
+    """Strong-scaling prediction: the global batch stays fixed, so the
+    per-device mini-batch shrinks as devices are added."""
+    points = []
+    for nodes in node_counts:
+        devices = nodes * gpus_per_node
+        if global_batch % devices:
+            raise ValueError(
+                f"global batch {global_batch} not divisible by {devices} "
+                "devices"
+            )
+        b = global_batch // devices
+        pred = model.predict_one(features, b, devices, nodes)
+        points.append(
+            ScalingPoint(
+                x=nodes,
+                devices=devices,
+                per_device_batch=b,
+                step_time=pred.total,
+                throughput=_throughput(pred.total, b, devices),
+            )
+        )
+    return points
+
+
+def batch_scaling_curve(
+    model: TrainingStepModel,
+    features: ConvNetFeatures,
+    batch_sizes: Sequence[int],
+    devices: int = 1,
+) -> list[ScalingPoint]:
+    """Throughput prediction across batch sizes (Figure 9).
+
+    Works for any batch size — including ones beyond device memory, the
+    paper's "simulating larger batch sizes" use case — because the model is
+    linear in the batch factor, not bound by a measured grid.
+    """
+    points = []
+    for batch in batch_sizes:
+        pred = model.predict_one(features, batch, devices, nodes=1)
+        points.append(
+            ScalingPoint(
+                x=batch * devices,
+                devices=devices,
+                per_device_batch=batch,
+                step_time=pred.total,
+                throughput=_throughput(pred.total, batch, devices),
+            )
+        )
+    return points
+
+
+def turning_point(
+    points: Sequence[ScalingPoint], min_gain: float = 1.25
+) -> ScalingPoint:
+    """The diminishing-return point of a scaling curve.
+
+    Returns the first point after which doubling the sweep coordinate stops
+    improving throughput by at least ``min_gain``×; if the curve keeps
+    scaling, returns the last point.
+    """
+    if not points:
+        raise ValueError("empty scaling curve")
+    ordered = sorted(points, key=lambda p: p.x)
+    for prev, nxt in zip(ordered, ordered[1:]):
+        growth = nxt.x / prev.x
+        gain = nxt.throughput / prev.throughput
+        # Normalise the gain to a per-doubling rate.
+        per_doubling = gain ** (1.0 / np.log2(growth)) if growth > 1 else gain
+        if per_doubling < min_gain:
+            return prev
+    return ordered[-1]
+
+
+def efficiency(points: Sequence[ScalingPoint]) -> list[float]:
+    """Parallel efficiency relative to the first point of the curve."""
+    if not points:
+        raise ValueError("empty scaling curve")
+    ordered = sorted(points, key=lambda p: p.devices)
+    base = ordered[0]
+    base_per_device = base.throughput / base.devices
+    return [
+        (p.throughput / p.devices) / base_per_device for p in ordered
+    ]

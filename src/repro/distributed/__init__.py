@@ -1,0 +1,44 @@
+"""Distributed-training substrate.
+
+Stands in for Horovod + NCCL on the paper's cluster (nodes with 4×A100
+connected by NVLink inside a node and HDR-200 InfiniBand between nodes).
+Provides interconnect models, an executable ring all-reduce (the algorithm
+NCCL uses, implemented on numpy arrays and tested for numerical
+correctness), Horovod-style tensor-fusion buckets, and a timeline simulator
+that overlaps gradient communication with the backward pass exactly as the
+paper describes in Sections 2 and 3.3.
+"""
+
+from repro.distributed.interconnect import (
+    IB_HDR200_X4,
+    INTERCONNECT_PRESETS,
+    NVLINK3,
+    PCIE4_X16,
+    Interconnect,
+)
+from repro.distributed.allreduce import (
+    hierarchical_all_reduce_time,
+    ring_all_reduce,
+    ring_all_reduce_time,
+    ring_segment_schedule,
+)
+from repro.distributed.fusion import FusionBucket, fuse_tensors
+from repro.distributed.cluster import ClusterSpec
+from repro.distributed.trainer import DistributedTrainer, TrainingStepTrace
+
+__all__ = [
+    "Interconnect",
+    "NVLINK3",
+    "IB_HDR200_X4",
+    "PCIE4_X16",
+    "INTERCONNECT_PRESETS",
+    "ring_all_reduce",
+    "ring_all_reduce_time",
+    "hierarchical_all_reduce_time",
+    "ring_segment_schedule",
+    "FusionBucket",
+    "fuse_tensors",
+    "ClusterSpec",
+    "DistributedTrainer",
+    "TrainingStepTrace",
+]

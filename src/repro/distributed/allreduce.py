@@ -1,0 +1,130 @@
+"""Ring all-reduce: the executable algorithm and its α–β cost model.
+
+The cost model feeds the timeline simulator; the executable version exists
+because a substrate should *be* the thing it models — tests check that the
+segment schedule below performs a correct sum-all-reduce on real arrays in
+exactly ``2·(P−1)`` steps, the property the cost formula is derived from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed.interconnect import Interconnect
+
+
+def ring_segment_schedule(n_ranks: int) -> list[list[tuple[int, int, str]]]:
+    """The (sender → receiver, segment, phase) schedule of a ring all-reduce.
+
+    Returns ``2·(P−1)`` steps; each step is a list of P concurrent transfers
+    ``(src_rank, segment_index, phase)`` where the receiver is always
+    ``(src_rank + 1) % P``.  Phase is ``"reduce"`` (scatter-reduce) or
+    ``"gather"`` (all-gather).
+    """
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    steps: list[list[tuple[int, int, str]]] = []
+    for step in range(n_ranks - 1):
+        steps.append(
+            [(src, (src - step) % n_ranks, "reduce") for src in range(n_ranks)]
+        )
+    for step in range(n_ranks - 1):
+        steps.append(
+            [
+                (src, (src + 1 - step) % n_ranks, "gather")
+                for src in range(n_ranks)
+            ]
+        )
+    return steps
+
+
+def ring_all_reduce(buffers: list[np.ndarray]) -> list[np.ndarray]:
+    """Sum-all-reduce across per-rank buffers using the ring algorithm.
+
+    Each rank's buffer is split into P nearly equal segments; the
+    scatter-reduce phase leaves rank r holding the fully reduced segment
+    ``(r+1) mod P``, and the all-gather phase circulates those reduced
+    segments.  Returns new arrays; inputs are not modified.
+    """
+    n_ranks = len(buffers)
+    if n_ranks == 0:
+        raise ValueError("need at least one buffer")
+    shape = buffers[0].shape
+    for buf in buffers:
+        if buf.shape != shape:
+            raise ValueError("all ranks must hold identically shaped buffers")
+    if n_ranks == 1:
+        return [buffers[0].copy()]
+
+    flat = [buf.astype(np.float64).ravel().copy() for buf in buffers]
+    bounds = np.linspace(0, flat[0].size, n_ranks + 1).astype(int)
+    segments = [slice(bounds[i], bounds[i + 1]) for i in range(n_ranks)]
+
+    for step_transfers in ring_segment_schedule(n_ranks):
+        # Snapshot the outgoing segments first: transfers within a step are
+        # concurrent, so a rank must send its pre-step value.
+        outgoing = {
+            (src, seg): flat[src][segments[seg]].copy()
+            for src, seg, _phase in step_transfers
+        }
+        for src, seg, phase in step_transfers:
+            dst = (src + 1) % n_ranks
+            if phase == "reduce":
+                flat[dst][segments[seg]] += outgoing[(src, seg)]
+            else:
+                flat[dst][segments[seg]] = outgoing[(src, seg)]
+
+    return [buf.reshape(shape) for buf in flat]
+
+
+def ring_all_reduce_time(
+    nbytes: float, n_ranks: int, link: Interconnect
+) -> float:
+    """α–β cost of a ring all-reduce of ``nbytes`` across ``n_ranks``.
+
+    Each rank sends ``2·(P−1)/P`` of the buffer over 2·(P−1) latency-bound
+    steps — the standard bandwidth-optimal ring bound.
+    """
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    if n_ranks == 1:
+        return 0.0
+    steps = 2 * (n_ranks - 1)
+    volume = 2.0 * (n_ranks - 1) / n_ranks * nbytes
+    return steps * link.latency + volume / link.bandwidth
+
+
+def hierarchical_all_reduce_time(
+    nbytes: float,
+    nodes: int,
+    gpus_per_node: int,
+    intra: Interconnect,
+    inter: Interconnect,
+) -> float:
+    """Cost of NCCL-style hierarchical all-reduce.
+
+    Three phases: (1) intra-node reduce-scatter over the fast fabric,
+    (2) inter-node ring all-reduce among per-node leaders over the slow
+    fabric on each node's 1/g shard, (3) intra-node all-gather.  For small
+    payloads or many GPUs per node this beats the flat ring, whose every
+    step is bound by the inter-node fabric.
+    """
+    if nodes < 1 or gpus_per_node < 1:
+        raise ValueError("need at least one node and one GPU")
+    total_ranks = nodes * gpus_per_node
+    if total_ranks == 1:
+        return 0.0
+    g = gpus_per_node
+    # Phase 1 + 3: reduce-scatter and all-gather inside the node — each
+    # moves (g-1)/g of the payload over g-1 latency steps.
+    intra_time = 0.0
+    if g > 1:
+        per_phase = (g - 1) * intra.latency + (
+            (g - 1) / g * nbytes / intra.bandwidth
+        )
+        intra_time = 2.0 * per_phase
+    # Phase 2: leaders ring-all-reduce their 1/g shard across nodes.
+    inter_time = 0.0
+    if nodes > 1:
+        inter_time = ring_all_reduce_time(nbytes / g, nodes, inter)
+    return intra_time + inter_time

@@ -1,0 +1,52 @@
+"""Cluster topology description."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distributed.interconnect import IB_HDR200_X4, NVLINK3, Interconnect
+from repro.hardware.device import A100_80GB, DeviceSpec
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Homogeneous cluster: ``nodes`` hosts with ``gpus_per_node`` devices.
+
+    Mirrors the paper's testbed (GPU nodes with four A100s, NVLink inside a
+    node, 4×HDR-200 InfiniBand between nodes).
+    """
+
+    nodes: int = 1
+    gpus_per_node: int = 4
+    device: DeviceSpec = A100_80GB
+    intra_node: Interconnect = NVLINK3
+    inter_node: Interconnect = IB_HDR200_X4
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1 or self.gpus_per_node < 1:
+            raise ValueError("cluster needs at least one node and one GPU")
+
+    @property
+    def total_devices(self) -> int:
+        return self.nodes * self.gpus_per_node
+
+    @property
+    def ring_link(self) -> Interconnect:
+        """The fabric that bounds a ring spanning all devices.
+
+        A ring across several nodes must cross the inter-node fabric, whose
+        bandwidth bounds every step of the collective; within one node the
+        ring runs entirely over NVLink.
+        """
+        return self.intra_node if self.nodes == 1 else self.inter_node
+
+    def describe(self) -> str:
+        return (
+            f"{self.nodes} node(s) × {self.gpus_per_node} × {self.device.name} "
+            f"(intra: {self.intra_node.name}, inter: {self.inter_node.name})"
+        )
+
+
+def single_gpu_cluster(device: DeviceSpec = A100_80GB) -> ClusterSpec:
+    """A one-device 'cluster' — the paper's single-GPU training scenario."""
+    return ClusterSpec(nodes=1, gpus_per_node=1, device=device)

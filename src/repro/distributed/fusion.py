@@ -1,0 +1,73 @@
+"""Horovod-style tensor fusion.
+
+Horovod coalesces gradient tensors into a fusion buffer and launches one
+all-reduce per filled buffer instead of one per tensor, letting
+communication start *during* the backward pass (the paper's Section 3.2
+"tensor fusion" optimisation).  ``fuse_tensors`` reproduces the greedy
+behaviour: tensors are appended in backward completion order and a bucket is
+flushed once it reaches the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Horovod's default fusion-buffer size (HOROVOD_FUSION_THRESHOLD), bytes.
+DEFAULT_FUSION_THRESHOLD = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class FusionBucket:
+    """One fused all-reduce launch."""
+
+    #: Indices (into the submission order) of the tensors in this bucket.
+    tensor_indices: tuple[int, ...]
+    #: Total payload, bytes.
+    nbytes: float
+    #: Time at which the last member tensor became available, seconds.
+    ready_time: float
+
+
+def fuse_tensors(
+    sizes_bytes: list[float],
+    ready_times: list[float],
+    threshold: float = DEFAULT_FUSION_THRESHOLD,
+) -> list[FusionBucket]:
+    """Greedily pack tensors (in submission order) into fusion buckets.
+
+    ``sizes_bytes[i]`` and ``ready_times[i]`` describe the i-th gradient
+    tensor in backward completion order.  A bucket is flushed when adding
+    the next tensor would leave it at or above the threshold; a final
+    partial bucket is flushed at the end.  A single tensor larger than the
+    threshold gets its own bucket (Horovod behaviour).
+    """
+    if len(sizes_bytes) != len(ready_times):
+        raise ValueError("sizes and ready_times must have equal length")
+    if threshold <= 0:
+        # Fusion disabled: one bucket per tensor.
+        return [
+            FusionBucket((i,), float(s), float(t))
+            for i, (s, t) in enumerate(zip(sizes_bytes, ready_times))
+        ]
+
+    buckets: list[FusionBucket] = []
+    current: list[int] = []
+    current_bytes = 0.0
+    current_ready = 0.0
+
+    def flush() -> None:
+        nonlocal current, current_bytes, current_ready
+        if current:
+            buckets.append(
+                FusionBucket(tuple(current), current_bytes, current_ready)
+            )
+            current, current_bytes, current_ready = [], 0.0, 0.0
+
+    for i, (size, ready) in enumerate(zip(sizes_bytes, ready_times)):
+        current.append(i)
+        current_bytes += float(size)
+        current_ready = max(current_ready, float(ready))
+        if current_bytes >= threshold:
+            flush()
+    flush()
+    return buckets

@@ -1,0 +1,61 @@
+"""Interconnect models (α–β cost parameters).
+
+A link is described by the classic latency/bandwidth (α–β) pair plus a noise
+sigma: network operations show far more run-to-run variance than on-device
+kernels, which is what drives the higher scatter of the distributed
+measurements in the paper's Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """One communication fabric as seen by a ring collective."""
+
+    name: str
+    #: Effective per-rank ring bandwidth, bytes/s (the "bus bandwidth").
+    bandwidth: float
+    #: Per-message latency, seconds.
+    latency: float
+    #: Log-normal sigma of communication-time noise.
+    noise_sigma: float
+
+    def transfer_time(self, nbytes: float) -> float:
+        """α–β time of a single point-to-point message."""
+        return self.latency + nbytes / self.bandwidth
+
+
+#: Third-generation NVLink between A100s in one node (~300 GB/s effective
+#: all-reduce bus bandwidth per GPU pair under NCCL).
+NVLINK3 = Interconnect(
+    name="nvlink3",
+    bandwidth=240e9,
+    latency=3.0e-6,
+    noise_sigma=0.12,
+)
+
+#: Four HDR-200 InfiniBand adapters per node (4 × 200 Gbit/s).  The ring
+#: that matters shares the NICs between the four GPUs of each node, so the
+#: effective per-ring bus bandwidth NCCL reaches on such systems is in the
+#: low tens of GB/s, far below the aggregate NIC figure.
+IB_HDR200_X4 = Interconnect(
+    name="ib-hdr200-x4",
+    bandwidth=24e9,
+    latency=8.0e-6,
+    noise_sigma=0.22,
+)
+
+#: PCIe 4.0 x16 — a lower-bandwidth fallback fabric for what-if studies.
+PCIE4_X16 = Interconnect(
+    name="pcie4-x16",
+    bandwidth=22e9,
+    latency=5.0e-6,
+    noise_sigma=0.15,
+)
+
+INTERCONNECT_PRESETS: dict[str, Interconnect] = {
+    link.name: link for link in (NVLINK3, IB_HDR200_X4, PCIE4_X16)
+}

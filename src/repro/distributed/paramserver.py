@@ -1,0 +1,88 @@
+"""Parameter-server synchronisation cost model.
+
+Section 2 contrasts the two synchronisation strategies: "the parameters
+are synchronized with the other devices, using various techniques such as
+parameter server or all-reduce strategy.  All-reduce ... is more widely
+used ... due to its faster convergence, scalability, low communication
+overhead".  This module provides the parameter-server side of that
+comparison: a central server receives every worker's gradients and
+broadcasts updated weights, so server ingress/egress bandwidth becomes the
+bottleneck and the cost grows *linearly* with the worker count — unlike
+the ring's 2(P−1)/P factor that saturates at 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distributed.allreduce import ring_all_reduce_time
+from repro.distributed.interconnect import Interconnect
+
+
+@dataclass(frozen=True)
+class ParameterServerSpec:
+    """A central parameter server reachable over ``link``.
+
+    ``shards`` models sharded parameter servers: gradients are partitioned
+    across that many server instances, each with independent bandwidth.
+    """
+
+    link: Interconnect
+    shards: int = 1
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("need at least one server shard")
+
+
+def parameter_server_sync_time(
+    nbytes: float, n_workers: int, server: ParameterServerSpec
+) -> float:
+    """Time for one gradient push + weight pull round.
+
+    Every worker uploads ``nbytes`` of gradients and downloads ``nbytes``
+    of fresh weights.  The per-shard server link carries
+    ``2 · nbytes · n_workers / shards`` sequentially — the classic incast
+    bottleneck.
+    """
+    if n_workers < 1:
+        raise ValueError("need at least one worker")
+    if n_workers == 1:
+        return 0.0
+    per_shard_bytes = 2.0 * nbytes * n_workers / server.shards
+    return 2.0 * server.link.latency + per_shard_bytes / server.link.bandwidth
+
+
+def allreduce_vs_paramserver(
+    nbytes: float,
+    n_workers: int,
+    link: Interconnect,
+    shards: int = 1,
+) -> dict[str, float]:
+    """Side-by-side synchronisation cost of the two strategies."""
+    return {
+        "ring_all_reduce": ring_all_reduce_time(nbytes, n_workers, link),
+        "parameter_server": parameter_server_sync_time(
+            nbytes, n_workers, ParameterServerSpec(link, shards)
+        ),
+    }
+
+
+def crossover_worker_count(
+    nbytes: float,
+    link: Interconnect,
+    shards: int = 1,
+    max_workers: int = 1024,
+) -> int | None:
+    """Smallest worker count at which the ring beats the parameter server.
+
+    Returns ``None`` if the parameter server stays competitive up to
+    ``max_workers`` (possible with aggressive sharding).
+    """
+    n = 2
+    while n <= max_workers:
+        costs = allreduce_vs_paramserver(nbytes, n, link, shards)
+        if costs["ring_all_reduce"] < costs["parameter_server"]:
+            return n
+        n *= 2
+    return None

@@ -1,0 +1,236 @@
+"""Distributed training-step timeline simulator.
+
+Reproduces the synchronous data-parallel training step of the paper's
+Figure 1 on a simulated cluster: each device computes a forward and backward
+pass on its mini-batch; gradient tensors become available layer-by-layer as
+the backward sweep proceeds (in reverse topological order); Horovod-style
+fusion buckets are all-reduced over the ring fabric *concurrently* with the
+remaining backward computation; the weight update runs once the last bucket
+has been reduced.
+
+The phase times reported mirror what the paper measures: the gradient-update
+phase is the part of communication + optimizer work *not hidden* behind the
+backward pass, which is why the paper fits backward and gradient update
+jointly (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributed.allreduce import (
+    hierarchical_all_reduce_time,
+    ring_all_reduce_time,
+)
+from repro.distributed.cluster import ClusterSpec
+from repro.distributed.fusion import (
+    DEFAULT_FUSION_THRESHOLD,
+    FusionBucket,
+    fuse_tensors,
+)
+from repro.hardware.executor import (
+    PhaseTimes,
+    SimulatedExecutor,
+    _BWD_BYTES_FACTOR,
+    _BWD_FLOPS_OTHER,
+    _BWD_FLOPS_PARAM,
+)
+from repro.hardware.memory import check_fits
+from repro.hardware.noise import multiplicative_noise, noise_vector
+from repro.hardware.roofline import CostProfile, layer_times
+
+
+#: Fixed per-bucket Horovod negotiation overhead, seconds.
+_COORDINATION_BASE = 1.0e-5
+#: Additional negotiation cost per participating rank, seconds.
+_COORDINATION_PER_RANK = 2.0e-6
+
+
+@dataclass(frozen=True)
+class BucketTrace:
+    """Timeline of one fused all-reduce."""
+
+    bucket: FusionBucket
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class TrainingStepTrace:
+    """Full timeline of one simulated distributed training step."""
+
+    phases: PhaseTimes
+    #: Per-bucket communication timeline (empty for a single device).
+    buckets: tuple[BucketTrace, ...]
+    #: Wall time at which the backward compute sweep finished.
+    backward_end: float
+    #: Wall time at which the last all-reduce finished.
+    comm_end: float
+    #: Local optimizer (Adam) step time.
+    optimizer_time: float
+
+    @property
+    def hidden_comm(self) -> float:
+        """Communication time overlapped with (hidden behind) backward."""
+        total_comm = sum(b.end - b.start for b in self.buckets)
+        exposed = max(0.0, self.comm_end - self.backward_end)
+        return max(0.0, total_comm - exposed)
+
+
+class DistributedTrainer:
+    """Simulates synchronous data-parallel training steps on a cluster."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        seed: int = 0,
+        fusion_threshold: float = DEFAULT_FUSION_THRESHOLD,
+        algorithm: str = "ring",
+    ) -> None:
+        if algorithm not in ("ring", "hierarchical"):
+            raise ValueError(f"unknown all-reduce algorithm {algorithm!r}")
+        self.cluster = cluster
+        self.seed = seed
+        self.fusion_threshold = fusion_threshold
+        self.algorithm = algorithm
+        self.executor = SimulatedExecutor(cluster.device, seed=seed)
+
+    def _all_reduce_time(self, nbytes: float) -> float:
+        """Noise-free collective time for one fused bucket."""
+        if self.algorithm == "hierarchical":
+            return hierarchical_all_reduce_time(
+                nbytes,
+                self.cluster.nodes,
+                self.cluster.gpus_per_node,
+                self.cluster.intra_node,
+                self.cluster.inter_node,
+            )
+        return ring_all_reduce_time(
+            nbytes, self.cluster.total_devices, self.cluster.ring_link
+        )
+
+    # -- noise helpers -------------------------------------------------------
+
+    def _sync_sigma(self, base: float) -> float:
+        """Noise grows with scale: desynchronised phase starts across devices
+        add variance the paper observes in Figure 7."""
+        n = self.cluster.total_devices
+        return base * (1.0 + 0.35 * np.log2(max(1, n)))
+
+    def _noise(self, sigma: float, *identity: object) -> float:
+        return multiplicative_noise(
+            sigma,
+            self.seed,
+            self.cluster.device.name,
+            self.cluster.nodes,
+            self.cluster.gpus_per_node,
+            *identity,
+        )
+
+    # -- timeline ------------------------------------------------------------
+
+    def run_step(
+        self,
+        profile: CostProfile,
+        per_device_batch: int,
+        rep: int = 0,
+        enforce_memory: bool = True,
+    ) -> TrainingStepTrace:
+        """Simulate one training step with mini-batch ``per_device_batch``."""
+        if enforce_memory:
+            check_fits(
+                profile, per_device_batch, self.cluster.device, training=True
+            )
+        device = self.cluster.device
+        n_ranks = self.cluster.total_devices
+        name = profile.graph_name
+
+        fwd_sigma = self._sync_sigma(device.noise_sigma)
+        fwd = self.executor.forward_time_clean(
+            profile, per_device_batch
+        ) * self._noise(fwd_sigma, name, per_device_batch, "fwd", rep)
+
+        # Per-layer backward times, swept in reverse topological order.
+        flops_factor = np.where(
+            profile.has_params, _BWD_FLOPS_PARAM, _BWD_FLOPS_OTHER
+        )
+        bwd_layer_times = layer_times(
+            profile,
+            per_device_batch,
+            device,
+            flops_factor=flops_factor,
+            bytes_factor=_BWD_BYTES_FACTOR,
+        )[::-1]
+        bwd_noise = noise_vector(
+            self._sync_sigma(device.noise_sigma),
+            bwd_layer_times.size,
+            self.seed,
+            device.name,
+            n_ranks,
+            name,
+            per_device_batch,
+            "bwd-layers",
+            rep,
+        )
+        bwd_layer_times = bwd_layer_times * bwd_noise
+        completion = np.cumsum(bwd_layer_times)
+        bwd_end = float(completion[-1]) + device.base_overhead
+
+        # Gradient tensors become ready as their layer's backward completes.
+        grad_mask = profile.has_params[::-1]
+        grad_sizes = (profile.param_counts[::-1][grad_mask] * 4.0).tolist()
+        grad_ready = completion[grad_mask].tolist()
+
+        buckets: list[BucketTrace] = []
+        comm_end = bwd_end
+        optimizer_time = self.executor.grad_update_time_clean(profile)
+
+        if n_ranks > 1 and grad_sizes:
+            link = self.cluster.ring_link
+            fused = fuse_tensors(grad_sizes, grad_ready, self.fusion_threshold)
+            # Horovod negotiates each fused all-reduce through its
+            # coordinator, a cost that grows with the number of ranks — the
+            # physical origin of the paper's c3·N gradient-update term.
+            coordination = _COORDINATION_BASE + _COORDINATION_PER_RANK * n_ranks
+            comm_cursor = 0.0
+            for i, bucket in enumerate(fused):
+                start = max(bucket.ready_time, comm_cursor)
+                duration = (
+                    self._all_reduce_time(bucket.nbytes) + coordination
+                ) * self._noise(
+                    link.noise_sigma, name, per_device_batch, "comm", i, rep
+                )
+                end = start + duration
+                buckets.append(BucketTrace(bucket, start, end))
+                comm_cursor = end
+            comm_end = max(bwd_end, comm_cursor)
+
+        exposed_comm = max(0.0, comm_end - bwd_end)
+        grad_phase = exposed_comm + optimizer_time * self._noise(
+            device.noise_sigma, name, per_device_batch, "opt", rep
+        )
+
+        phases = PhaseTimes(
+            forward=fwd, backward=bwd_end, grad_update=grad_phase
+        )
+        return TrainingStepTrace(
+            phases=phases,
+            buckets=tuple(buckets),
+            backward_end=bwd_end,
+            comm_end=comm_end,
+            optimizer_time=optimizer_time,
+        )
+
+    def measure_step(
+        self,
+        profile: CostProfile,
+        per_device_batch: int,
+        rep: int = 0,
+        enforce_memory: bool = True,
+    ) -> PhaseTimes:
+        """Phase times only — the record the campaign stores."""
+        return self.run_step(
+            profile, per_device_batch, rep, enforce_memory
+        ).phases

@@ -1,0 +1,33 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes ``run(...)`` returning a structured result object with
+a ``render()`` method that prints the same rows/series the paper reports.
+The benchmarks under ``benchmarks/`` are thin wrappers that execute these
+and assert the paper's qualitative shapes.
+"""
+
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.table3_single import run_table3_single
+from repro.experiments.table3_distributed import run_table3_distributed
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.table4 import run_table4
+from repro.experiments.strong_scaling import run_strong_scaling
+
+__all__ = [
+    "run_fig1",
+    "run_fig2",
+    "run_table1",
+    "run_table2",
+    "run_fig6",
+    "run_table3_single",
+    "run_table3_distributed",
+    "run_fig8",
+    "run_fig9",
+    "run_table4",
+    "run_strong_scaling",
+]

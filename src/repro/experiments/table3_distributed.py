@@ -1,0 +1,97 @@
+"""Table 3 (multi-node columns) + Figure 7: distributed training prediction.
+
+Same structure as the single-GPU experiment but over the multi-node
+campaign (1–8 nodes × 4 GPUs).  The gradient-update phase uses the
+multi-node form of Eq. 4 (c1·L + c2·W + c3·N); backward and update are also
+fitted jointly inside the step model because the phases overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.core.forward import ForwardModel
+from repro.core.loo import LeaveOneOutResult, leave_one_out
+from repro.core.metrics import EvalMetrics
+from repro.core.training import (
+    BackwardModel,
+    GradientUpdateModel,
+    TrainingStepModel,
+)
+from repro.experiments.common import distributed_data
+from repro.zoo.registry import get_entry
+
+
+@dataclass(frozen=True)
+class Table3DistributedResult:
+    step: LeaveOneOutResult
+    phases: dict[str, EvalMetrics]
+
+    def rows(self) -> list[dict[str, object]]:
+        return [
+            {
+                "model": get_entry(m).display,
+                "r2": e.r2,
+                "rmse_ms": e.rmse * 1e3,
+                "nrmse": e.nrmse,
+                "mape": e.mape,
+            }
+            for m, e in self.step.per_model.items()
+        ]
+
+    def render(self) -> str:
+        table = format_table(
+            self.rows(),
+            [
+                ("model", None),
+                ("r2", ".3f"),
+                ("rmse_ms", ".2f"),
+                ("nrmse", ".2f"),
+                ("mape", ".2f"),
+            ],
+            title="Table 3 — distributed training-step prediction (LOO)",
+        )
+        phase_rows = [
+            {"phase": name, "r2": e.r2, "rmse_ms": e.rmse * 1e3,
+             "nrmse": e.nrmse, "mape": e.mape}
+            for name, e in self.phases.items()
+        ]
+        phases = format_table(
+            phase_rows,
+            [
+                ("phase", None),
+                ("r2", ".3f"),
+                ("rmse_ms", ".2f"),
+                ("nrmse", ".2f"),
+                ("mape", ".2f"),
+            ],
+            title="Figure 7 — per-phase pooled accuracy (multi-node, LOO)",
+        )
+        return table + "\n\n" + phases
+
+
+def run_table3_distributed() -> Table3DistributedResult:
+    data = distributed_data()
+    step = leave_one_out(
+        data, lambda: TrainingStepModel(), lambda r: r.t_total
+    )
+    phases = {
+        "forward": leave_one_out(
+            data, lambda: ForwardModel(phase="fwd"), lambda r: r.t_fwd
+        ).pooled,
+        "backward": leave_one_out(
+            data, lambda: BackwardModel(), lambda r: r.t_bwd
+        ).pooled,
+        "grad_update": leave_one_out(
+            data,
+            lambda: GradientUpdateModel(multi_node=True),
+            lambda r: r.t_grad,
+        ).pooled,
+        "entire_step": step.pooled,
+    }
+    return Table3DistributedResult(step=step, phases=phases)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_table3_distributed().render())

@@ -1,0 +1,97 @@
+"""Table 3 (single-GPU columns) + Figure 5: training-step prediction on one
+A100.
+
+Per-model leave-one-out accuracy of the entire training step, plus pooled
+per-phase accuracy (forward / backward / gradient update / entire step) —
+the four panels of Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.core.forward import ForwardModel
+from repro.core.loo import LeaveOneOutResult, leave_one_out
+from repro.core.metrics import EvalMetrics
+from repro.core.training import (
+    BackwardModel,
+    GradientUpdateModel,
+    TrainingStepModel,
+)
+from repro.experiments.common import training_data
+from repro.zoo.registry import get_entry
+
+
+@dataclass(frozen=True)
+class Table3SingleResult:
+    step: LeaveOneOutResult
+    phases: dict[str, EvalMetrics]  # fwd / bwd / grad / step (pooled, LOO)
+
+    def rows(self) -> list[dict[str, object]]:
+        return [
+            {
+                "model": get_entry(m).display,
+                "r2": e.r2,
+                "rmse_ms": e.rmse * 1e3,
+                "nrmse": e.nrmse,
+                "mape": e.mape,
+            }
+            for m, e in self.step.per_model.items()
+        ]
+
+    def render(self) -> str:
+        table = format_table(
+            self.rows(),
+            [
+                ("model", None),
+                ("r2", ".3f"),
+                ("rmse_ms", ".2f"),
+                ("nrmse", ".2f"),
+                ("mape", ".2f"),
+            ],
+            title="Table 3 — single-GPU training-step prediction (LOO)",
+        )
+        phase_rows = [
+            {"phase": name, "r2": e.r2, "rmse_ms": e.rmse * 1e3,
+             "nrmse": e.nrmse, "mape": e.mape}
+            for name, e in self.phases.items()
+        ]
+        phases = format_table(
+            phase_rows,
+            [
+                ("phase", None),
+                ("r2", ".3f"),
+                ("rmse_ms", ".2f"),
+                ("nrmse", ".2f"),
+                ("mape", ".2f"),
+            ],
+            title="Figure 5 — per-phase pooled accuracy (LOO)",
+        )
+        return table + "\n\n" + phases
+
+
+def run_table3_single() -> Table3SingleResult:
+    data = training_data()
+    step = leave_one_out(
+        data, lambda: TrainingStepModel(), lambda r: r.t_total
+    )
+    phases = {
+        "forward": leave_one_out(
+            data, lambda: ForwardModel(phase="fwd"), lambda r: r.t_fwd
+        ).pooled,
+        "backward": leave_one_out(
+            data, lambda: BackwardModel(), lambda r: r.t_bwd
+        ).pooled,
+        "grad_update": leave_one_out(
+            data,
+            lambda: GradientUpdateModel(multi_node=False),
+            lambda r: r.t_grad,
+        ).pooled,
+        "entire_step": step.pooled,
+    }
+    return Table3SingleResult(step=step, phases=phases)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_table3_single().render())

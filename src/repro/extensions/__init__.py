@@ -1,0 +1,29 @@
+"""Extensions beyond the paper's evaluation.
+
+Implements the outlook items of the paper's conclusion: applying the
+ConvMeter methodology to vision transformers (:mod:`~repro.extensions.
+transformer`) and to edge processors (the ``jetson-agx-orin`` device
+preset used by ``examples/whatif_hardware.py``).
+"""
+
+from repro.extensions.transformer import (
+    transformer_features,
+    vit_inference_campaign,
+    vit_training_campaign,
+)
+from repro.extensions.model_parallel import (
+    PipelinePlan,
+    PipelineStage,
+    compare_stage_counts,
+    plan_pipeline,
+)
+
+__all__ = [
+    "transformer_features",
+    "vit_inference_campaign",
+    "vit_training_campaign",
+    "PipelinePlan",
+    "PipelineStage",
+    "plan_pipeline",
+    "compare_stage_counts",
+]

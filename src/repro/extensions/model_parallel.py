@@ -1,0 +1,170 @@
+"""Pipeline model parallelism via block-level prediction.
+
+Section 3: "ConvMeter can be extended to support other parallelization
+strategies, such as model parallelism, by leveraging ConvMeter's capability
+to predict subgraphs or blocks."  This module does exactly that: a model's
+blocks are partitioned into pipeline stages using *predicted* block times,
+and the pipeline's steady-state step time follows from the slowest stage
+plus inter-stage activation transfers — no measurement of any candidate
+partition required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchdata.records import ConvNetFeatures
+from repro.core.forward import ForwardModel
+from repro.distributed.interconnect import Interconnect, NVLINK3
+from repro.graph.graph import ComputeGraph
+from repro.hardware.roofline import profile_graph
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One contiguous group of blocks assigned to a device."""
+
+    index: int
+    blocks: tuple[str, ...]
+    #: Predicted compute time of the stage for one micro-batch, seconds.
+    compute_time: float
+    #: Bytes of activations handed to the next stage per micro-batch.
+    boundary_bytes: float
+
+
+@dataclass(frozen=True)
+class PipelinePlan:
+    """A complete pipeline partition with its predicted performance."""
+
+    model: str
+    micro_batch: int
+    stages: tuple[PipelineStage, ...]
+    link: Interconnect
+
+    @property
+    def bottleneck_time(self) -> float:
+        """Steady-state time per micro-batch: slowest stage plus its
+        outgoing transfer (1F1B pipelining overlaps everything else)."""
+        return max(
+            s.compute_time + self.link.transfer_time(s.boundary_bytes)
+            * (1 if s.index < len(self.stages) - 1 else 0)
+            for s in self.stages
+        )
+
+    @property
+    def pipeline_efficiency(self) -> float:
+        """Total compute divided by (stages × bottleneck) — 1.0 is a
+        perfectly balanced pipeline."""
+        total = sum(s.compute_time for s in self.stages)
+        return total / (len(self.stages) * self.bottleneck_time)
+
+    def step_time(self, n_micro_batches: int) -> float:
+        """Wall time of one training-style step of ``n_micro_batches``:
+        fill/drain ramp plus steady-state slots."""
+        if n_micro_batches < 1:
+            raise ValueError("need at least one micro-batch")
+        slots = n_micro_batches + len(self.stages) - 1
+        return slots * self.bottleneck_time
+
+
+def _block_time_and_boundary(
+    graph: ComputeGraph,
+    scope: str,
+    model: ForwardModel,
+    micro_batch: int,
+) -> tuple[float, float]:
+    sub = graph.block_subgraph(scope)
+    profile = profile_graph(sub)
+    features = ConvNetFeatures.from_profile(profile)
+    time = max(model.predict_one(features, micro_batch), 0.0)
+    out_elems = sub.output_node.output_shape.numel
+    return time, 4.0 * out_elems * micro_batch
+
+
+def plan_pipeline(
+    graph: ComputeGraph,
+    forward_model: ForwardModel,
+    n_stages: int,
+    micro_batch: int = 1,
+    link: Interconnect = NVLINK3,
+) -> PipelinePlan:
+    """Partition a model's blocks into ``n_stages`` contiguous stages.
+
+    Greedy balanced partition on predicted block times: walk the blocks in
+    order, starting a new stage whenever the running stage exceeds the
+    ideal per-stage share (keeping enough blocks for the remaining stages).
+    """
+    blocks = graph.block_names()
+    if n_stages < 1:
+        raise ValueError("need at least one stage")
+    if len(blocks) < n_stages:
+        raise ValueError(
+            f"{graph.name} has {len(blocks)} blocks, cannot make "
+            f"{n_stages} stages"
+        )
+    times = {}
+    boundaries = {}
+    for scope in blocks:
+        t, nbytes = _block_time_and_boundary(
+            graph, scope, forward_model, micro_batch
+        )
+        times[scope] = t
+        boundaries[scope] = nbytes
+
+    ideal = sum(times.values()) / n_stages
+    stages: list[PipelineStage] = []
+    current: list[str] = []
+    current_time = 0.0
+    remaining_blocks = len(blocks)
+    for scope in blocks:
+        remaining_stages = n_stages - len(stages)
+        must_close = remaining_blocks == remaining_stages - 1
+        if current and (current_time >= ideal or must_close) and (
+            remaining_stages > 1
+        ):
+            stages.append(
+                PipelineStage(
+                    index=len(stages),
+                    blocks=tuple(current),
+                    compute_time=current_time,
+                    boundary_bytes=boundaries[current[-1]],
+                )
+            )
+            current, current_time = [], 0.0
+        current.append(scope)
+        current_time += times[scope]
+        remaining_blocks -= 1
+    stages.append(
+        PipelineStage(
+            index=len(stages),
+            blocks=tuple(current),
+            compute_time=current_time,
+            boundary_bytes=boundaries[current[-1]],
+        )
+    )
+    if len(stages) != n_stages:
+        raise RuntimeError(
+            f"partitioning produced {len(stages)} stages, wanted {n_stages}"
+        )
+    return PipelinePlan(
+        model=graph.name,
+        micro_batch=micro_batch,
+        stages=tuple(stages),
+        link=link,
+    )
+
+
+def compare_stage_counts(
+    graph: ComputeGraph,
+    forward_model: ForwardModel,
+    stage_counts: tuple[int, ...],
+    micro_batch: int = 1,
+    n_micro_batches: int = 8,
+    link: Interconnect = NVLINK3,
+) -> dict[int, PipelinePlan]:
+    """Plans for several pipeline depths — the what-if sweep a model-
+    parallel scheduler would run."""
+    return {
+        k: plan_pipeline(graph, forward_model, k, micro_batch, link)
+        for k in stage_counts
+    }

@@ -1,0 +1,59 @@
+"""ConvNet intermediate representation.
+
+This package provides the computational-graph substrate that ConvMeter
+consumes: a small layer taxonomy with shape inference, a DAG container with
+block scoping, per-layer cost metrics (FLOPs, input/output tensor sizes,
+parameter counts), and a numerical reference executor used to validate the
+shape and FLOP accounting against actual array computation.
+"""
+
+from repro.graph.tensor import TensorShape
+from repro.graph.layers import (
+    Activation,
+    AdaptiveAvgPool2d,
+    Add,
+    AvgPool2d,
+    BatchNorm2d,
+    Concat,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Input,
+    Layer,
+    Linear,
+    LocalResponseNorm,
+    MaxPool2d,
+    Multiply,
+    ZeroPad2d,
+)
+from repro.graph.graph import ComputeGraph, Node
+from repro.graph.builder import GraphBuilder
+from repro.graph.metrics import LayerCost, graph_costs, summarize_costs
+
+__all__ = [
+    "TensorShape",
+    "Layer",
+    "Input",
+    "Conv2d",
+    "BatchNorm2d",
+    "Activation",
+    "MaxPool2d",
+    "AvgPool2d",
+    "AdaptiveAvgPool2d",
+    "GlobalAvgPool2d",
+    "Linear",
+    "Flatten",
+    "Dropout",
+    "Add",
+    "Concat",
+    "Multiply",
+    "LocalResponseNorm",
+    "ZeroPad2d",
+    "ComputeGraph",
+    "Node",
+    "GraphBuilder",
+    "LayerCost",
+    "graph_costs",
+    "summarize_costs",
+]

@@ -1,0 +1,428 @@
+"""Numerical backward pass for the ConvNet IR.
+
+Extends the reference executor with vector-Jacobian products for every
+ConvNet layer, so the substrate can really *train*: the data-parallel
+training demo computes gradients per simulated worker, synchronises them
+with the executable ring all-reduce, and applies SGD — validating the cost
+model's structural assumptions (backward ≈ double the forward work,
+gradients produced in reverse topological order, one tensor per
+parametric layer) against actual computation.
+
+Batch-norm runs in inference mode (affine with fixed statistics), which
+keeps its backward exact and local — sufficient for substrate validation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import ComputeGraph
+from repro.graph.layers import (
+    Activation,
+    AdaptiveAvgPool2d,
+    Add,
+    AvgPool2d,
+    BatchNorm2d,
+    Concat,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Input,
+    Linear,
+    MaxPool2d,
+    Multiply,
+    ZeroPad2d,
+)
+from repro.graph.reference import ReferenceExecutor, _pair, im2col
+from repro.graph.transformer_layers import (
+    ClassToken,
+    LayerNorm,
+    PositionalEmbedding,
+    ScaledDotProductAttention,
+    SelectToken,
+    TokenLinear,
+    TokensFromFeatureMap,
+)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+    padding: tuple[int, int],
+    dilation: int = 1,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add patch columns back."""
+    b, c, h, w = x_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    eff_kh = dilation * (kh - 1) + 1
+    eff_kw = dilation * (kw - 1) + 1
+    out_h = (h + 2 * ph - eff_kh) // sh + 1
+    out_w = (w + 2 * pw - eff_kw) // sw + 1
+    cols = cols.reshape(b, c, kh, kw, out_h, out_w)
+    padded = np.zeros((b, c, h + 2 * ph, w + 2 * pw))
+    for i in range(kh):
+        for j in range(kw):
+            hi = i * dilation
+            wj = j * dilation
+            padded[
+                :, :, hi : hi + sh * out_h : sh, wj : wj + sw * out_w : sw
+            ] += cols[:, :, i, j]
+    return padded[:, :, ph : ph + h, pw : pw + w]
+
+
+def _gelu_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    # Derivative of the tanh-approximated GELU used by the forward pass.
+    c = 0.7978845608
+    inner = c * (x + 0.044715 * x**3)
+    t = np.tanh(inner)
+    dinner = c * (1.0 + 3 * 0.044715 * x**2)
+    return 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
+
+
+_ACT_GRADS = {
+    "gelu": _gelu_grad,
+    "relu": lambda x, y: (x > 0).astype(float),
+    "relu6": lambda x, y: ((x > 0) & (x < 6)).astype(float),
+    "leaky_relu": lambda x, y: np.where(x > 0, 1.0, 0.01),
+    "sigmoid": lambda x, y: y * (1.0 - y),
+    "tanh": lambda x, y: 1.0 - y * y,
+    "silu": lambda x, y: (
+        (lambda s: s * (1.0 + x * (1.0 - s)))(1.0 / (1.0 + np.exp(-x)))
+    ),
+    "hardsigmoid": lambda x, y: ((x > -3.0) & (x < 3.0)) / 6.0,
+    "hardswish": lambda x, y: np.where(
+        x <= -3.0, 0.0, np.where(x >= 3.0, 1.0, (2.0 * x + 3.0) / 6.0)
+    ),
+}
+
+
+class TrainableExecutor(ReferenceExecutor):
+    """Reference executor with a numerical backward pass and SGD."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass caching every intermediate value."""
+        inputs = self.graph.input_nodes
+        if len(inputs) != 1:
+            raise ValueError("TrainableExecutor supports single-input graphs")
+        self._values: dict[str, np.ndarray] = {}
+        self._run_from({inputs[0].name: x}, self._values)
+        return self._values[self.graph.output_node.name]
+
+    def backward(
+        self, output_grad: np.ndarray
+    ) -> dict[str, dict[str, np.ndarray]]:
+        """Backward pass from the output gradient.
+
+        Returns per-node parameter gradients (``{node: {param: grad}}``),
+        produced in reverse topological order — the order the distributed
+        trainer's fusion buckets consume.
+        """
+        if not hasattr(self, "_values"):
+            raise RuntimeError("call forward() before backward()")
+        grads: dict[str, np.ndarray] = {
+            self.graph.output_node.name: np.asarray(output_grad, float)
+        }
+        param_grads: dict[str, dict[str, np.ndarray]] = {}
+        for node in reversed(self.graph.nodes):
+            if isinstance(node.layer, Input):
+                continue
+            gy = grads.pop(node.name, None)
+            if gy is None:
+                continue  # dead branch
+            args = [self._values[p] for p in node.inputs]
+            y = self._values[node.name]
+            gxs, pgrads = self._vjp(node.name, node.layer, args, y, gy)
+            if pgrads:
+                param_grads[node.name] = pgrads
+            for parent, gx in zip(node.inputs, gxs):
+                if gx is None:
+                    continue
+                if parent in grads:
+                    grads[parent] = grads[parent] + gx
+                else:
+                    grads[parent] = gx
+        self._input_grads = grads
+        return param_grads
+
+    def input_gradient(self) -> np.ndarray:
+        """Gradient with respect to the graph input (after backward())."""
+        (input_node,) = self.graph.input_nodes
+        return self._input_grads[input_node.name]
+
+    def sgd_step(
+        self, param_grads: dict[str, dict[str, np.ndarray]], lr: float
+    ) -> None:
+        """In-place SGD update of the executor's parameters."""
+        for node_name, grads in param_grads.items():
+            for key, grad in grads.items():
+                self.params[node_name][key] -= lr * grad
+
+    # -- per-layer VJPs ------------------------------------------------------
+
+    def _vjp(
+        self,
+        name: str,
+        layer: object,
+        args: list[np.ndarray],
+        y: np.ndarray,
+        gy: np.ndarray,
+    ) -> tuple[list[np.ndarray | None], dict[str, np.ndarray]]:
+        if isinstance(layer, Conv2d):
+            return self._conv_vjp(name, layer, args[0], gy)
+        if isinstance(layer, Linear):
+            p = self.params[name]
+            gw = gy.T @ args[0]
+            gx = gy @ p["weight"]
+            pg = {"weight": gw}
+            if "bias" in p:
+                pg["bias"] = gy.sum(axis=0)
+            return [gx], pg
+        if isinstance(layer, BatchNorm2d):
+            p = self.params[name]
+            inv = 1.0 / np.sqrt(p["var"] + 1e-5)
+            normed = (args[0] - p["mean"][None, :, None, None]) * inv[
+                None, :, None, None
+            ]
+            gx = gy * (p["gamma"] * inv)[None, :, None, None]
+            return [gx], {
+                "gamma": (gy * normed).sum(axis=(0, 2, 3)),
+                "beta": gy.sum(axis=(0, 2, 3)),
+            }
+        if isinstance(layer, Activation):
+            try:
+                dfn = _ACT_GRADS[layer.kind]
+            except KeyError:
+                raise NotImplementedError(
+                    f"no backward for activation {layer.kind!r}"
+                ) from None
+            return [gy * dfn(args[0], y)], {}
+        if isinstance(layer, MaxPool2d):
+            return [self._maxpool_vjp(layer, args[0], y, gy)], {}
+        if isinstance(layer, AvgPool2d):
+            return [self._avgpool_vjp(layer, args[0], gy)], {}
+        if isinstance(layer, AdaptiveAvgPool2d):
+            return [self._adaptive_vjp(layer, args[0], gy)], {}
+        if isinstance(layer, GlobalAvgPool2d):
+            b, c, h, w = args[0].shape
+            return [np.broadcast_to(gy / (h * w), args[0].shape).copy()], {}
+        if isinstance(layer, Flatten):
+            return [gy.reshape(args[0].shape)], {}
+        if isinstance(layer, Dropout):
+            return [gy], {}
+        if isinstance(layer, Add):
+            return [gy for _ in args], {}
+        if isinstance(layer, Concat):
+            splits = np.cumsum([a.shape[1] for a in args[:-1]])
+            return list(np.split(gy, splits, axis=1)), {}
+        if isinstance(layer, Multiply):
+            a, b = args
+
+            def reduce_to(shape, grad):
+                # Sum out spatial dims that were broadcast in the forward.
+                if grad.shape != shape:
+                    grad = grad.sum(axis=(2, 3), keepdims=True)
+                return grad
+
+            ga = reduce_to(a.shape, gy * b)
+            gb = reduce_to(b.shape, gy * a)
+            return [ga, gb], {}
+        if isinstance(layer, ZeroPad2d):
+            ph, pw = _pair(layer.padding)
+            return [gy[:, :, ph : gy.shape[2] - ph, pw : gy.shape[3] - pw]], {}
+        if isinstance(layer, TokenLinear):
+            p = self.params[name]
+            x = args[0][..., 0]          # (B, d_in, S)
+            g = gy[..., 0]               # (B, d_out, S)
+            gw = np.einsum("bos,bis->oi", g, x)
+            gx = np.einsum("oi,bos->bis", p["weight"], g)[..., None]
+            pg = {"weight": gw}
+            if "bias" in p:
+                pg["bias"] = g.sum(axis=(0, 2))
+            return [gx], pg
+        if isinstance(layer, LayerNorm):
+            return self._layernorm_vjp(name, args[0], gy)
+        if isinstance(layer, ScaledDotProductAttention):
+            return self._attention_vjp(layer, args, gy), {}
+        if isinstance(layer, ClassToken):
+            token_grad = gy[:, :, 0, :].sum(axis=(0, 2))
+            return [gy[:, :, 1:, :]], {"token": token_grad}
+        if isinstance(layer, PositionalEmbedding):
+            return [gy], {"embed": gy.sum(axis=(0, 3))}
+        if isinstance(layer, TokensFromFeatureMap):
+            return [gy.reshape(args[0].shape)], {}
+        if isinstance(layer, SelectToken):
+            gx = np.zeros_like(args[0])
+            gx[:, :, layer.index, 0] = gy
+            return [gx], {}
+        raise NotImplementedError(
+            f"no backward implementation for {type(layer).__name__}"
+        )
+
+    def _layernorm_vjp(self, name, x, gy):
+        p = self.params[name]
+        d = x.shape[1]
+        mean = x.mean(axis=1, keepdims=True)
+        var = x.var(axis=1, keepdims=True)
+        inv = 1.0 / np.sqrt(var + 1e-6)
+        normed = (x - mean) * inv
+        gamma = p["gamma"][None, :, None, None]
+        gn = gy * gamma
+        # Standard layer-norm backward over the channel axis.
+        gx = inv * (
+            gn
+            - gn.mean(axis=1, keepdims=True)
+            - normed * (gn * normed).mean(axis=1, keepdims=True)
+        )
+        return [gx], {
+            "gamma": (gy * normed).sum(axis=(0, 2, 3)),
+            "beta": gy.sum(axis=(0, 2, 3)),
+        }
+
+    def _attention_vjp(self, layer, args, gy):
+        q, k, v = (a[..., 0] for a in args)
+        b, d, s = q.shape
+        h = layer.num_heads
+        dh = d // h
+        qh = q.reshape(b, h, dh, s)
+        kh = k.reshape(b, h, dh, s)
+        vh = v.reshape(b, h, dh, s)
+        scale = 1.0 / np.sqrt(dh)
+        scores = np.einsum("bhdi,bhdj->bhij", qh, kh) * scale
+        scores -= scores.max(axis=-1, keepdims=True)
+        attn = np.exp(scores)
+        attn /= attn.sum(axis=-1, keepdims=True)
+
+        g = gy[..., 0].reshape(b, h, dh, s)
+        # out[:, :, d, i] = sum_j attn[i, j] * v[d, j]
+        gv = np.einsum("bhij,bhdi->bhdj", attn, g)
+        gattn = np.einsum("bhdi,bhdj->bhij", g, vh)
+        # Softmax backward per row.
+        gscores = attn * (
+            gattn - (gattn * attn).sum(axis=-1, keepdims=True)
+        )
+        gq = np.einsum("bhij,bhdj->bhdi", gscores, kh) * scale
+        gk = np.einsum("bhij,bhdi->bhdj", gscores, qh) * scale
+        return [
+            gq.reshape(b, d, s)[..., None],
+            gk.reshape(b, d, s)[..., None],
+            gv.reshape(b, d, s)[..., None],
+        ]
+
+    def _conv_vjp(self, name, layer, x, gy):
+        p = self.params[name]
+        weight = p["weight"]
+        kh, kw = _pair(layer.kernel_size)
+        sh, sw = _pair(layer.stride)
+        ph, pw = _pair(layer.padding)
+        g = layer.groups
+        cin_g = layer.in_channels // g
+        cout_g = layer.out_channels // g
+        b = x.shape[0]
+        out_h, out_w = gy.shape[2], gy.shape[3]
+        gx = np.empty_like(x)
+        gw = np.empty_like(weight)
+        w_mat = weight.reshape(g, cout_g, cin_g * kh * kw)
+        gy_mat = gy.reshape(b, g, cout_g, out_h * out_w)
+        for gi in range(g):
+            xg = x[:, gi * cin_g : (gi + 1) * cin_g]
+            cols = im2col(xg, (kh, kw), (sh, sw), (ph, pw), layer.dilation)
+            gyg = gy_mat[:, gi]  # (b, cout_g, L)
+            # dW = sum_b gy @ cols^T
+            gw_g = np.einsum("bol,bkl->ok", gyg, cols)
+            gw[gi * cout_g : (gi + 1) * cout_g] = gw_g.reshape(
+                cout_g, cin_g, kh, kw
+            )
+            # dX: push gradient back through the patch matrix.
+            gcols = np.einsum("ok,bol->bkl", w_mat[gi], gyg)
+            gx[:, gi * cin_g : (gi + 1) * cin_g] = col2im(
+                gcols, xg.shape, (kh, kw), (sh, sw), (ph, pw), layer.dilation
+            )
+        pg = {"weight": gw}
+        if "bias" in p:
+            pg["bias"] = gy.sum(axis=(0, 2, 3))
+        return [gx], pg
+
+    def _maxpool_vjp(self, layer, x, y, gy):
+        kh, kw = _pair(layer.kernel_size)
+        stride = layer.stride if layer.stride is not None else layer.kernel_size
+        sh, sw = _pair(stride)
+        ph, pw = _pair(layer.padding)
+        b, c, h, w = x.shape
+        padded = np.full((b, c, h + 2 * ph, w + 2 * pw), -np.inf)
+        padded[:, :, ph : ph + h, pw : pw + w] = x
+        out_h, out_w = y.shape[2], y.shape[3]
+        need_h = (out_h - 1) * sh + kh
+        need_w = (out_w - 1) * sw + kw
+        if need_h > padded.shape[2] or need_w > padded.shape[3]:
+            padded = np.pad(
+                padded,
+                ((0, 0), (0, 0),
+                 (0, max(0, need_h - padded.shape[2])),
+                 (0, max(0, need_w - padded.shape[3]))),
+                constant_values=-np.inf,
+            )
+        gpad = np.zeros_like(padded)
+        # Route each window's gradient to its argmax element.  Exact ties
+        # within a window would double-count, but are measure-zero for the
+        # continuous inputs this executor is validated with.
+        for i in range(kh):
+            for j in range(kw):
+                window = padded[
+                    :, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw
+                ]
+                gpad[
+                    :, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw
+                ] += np.where(window == y, gy, 0.0)
+        return gpad[:, :, ph : ph + h, pw : pw + w]
+
+    def _avgpool_vjp(self, layer, x, gy):
+        kh, kw = _pair(layer.kernel_size)
+        stride = layer.stride if layer.stride is not None else layer.kernel_size
+        sh, sw = _pair(stride)
+        ph, pw = _pair(layer.padding)
+        b, c, h, w = x.shape
+        out_h, out_w = gy.shape[2], gy.shape[3]
+        need_h = max(h + 2 * ph, (out_h - 1) * sh + kh)
+        need_w = max(w + 2 * pw, (out_w - 1) * sw + kw)
+        gpad = np.zeros((b, c, need_h, need_w))
+        share = gy / (kh * kw)
+        for i in range(kh):
+            for j in range(kw):
+                gpad[
+                    :, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw
+                ] += share
+        return gpad[:, :, ph : ph + h, pw : pw + w]
+
+    def _adaptive_vjp(self, layer, x, gy):
+        b, c, h, w = x.shape
+        oh, ow = _pair(layer.output_size)
+        gx = np.zeros_like(x)
+        for i in range(oh):
+            h0, h1 = (i * h) // oh, -(-((i + 1) * h) // oh)
+            for j in range(ow):
+                w0, w1 = (j * w) // ow, -(-((j + 1) * w) // ow)
+                area = (h1 - h0) * (w1 - w0)
+                gx[:, :, h0:h1, w0:w1] += (
+                    gy[:, :, i : i + 1, j : j + 1] / area
+                )
+        return gx
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Loss and logits gradient for integer labels — the training demo's
+    loss function."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    n = logits.shape[0]
+    loss = -float(np.log(probs[np.arange(n), labels] + 1e-12).mean())
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n

@@ -1,0 +1,373 @@
+"""Numerical reference executor for the ConvNet IR.
+
+Runs a graph forward on real numpy arrays.  This is not a performance tool —
+it exists so tests can check that shape inference, layer semantics, and the
+block-extraction machinery agree with actual array computation.  Convolution
+uses an im2col + matmul formulation (the textbook definition the paper's
+FLOP counts assume).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import ComputeGraph
+from repro.graph.layers import (
+    Activation,
+    AdaptiveAvgPool2d,
+    Add,
+    AvgPool2d,
+    BatchNorm2d,
+    Concat,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Input,
+    Linear,
+    LocalResponseNorm,
+    MaxPool2d,
+    Multiply,
+    ZeroPad2d,
+)
+from repro.graph.transformer_layers import (
+    ClassToken,
+    LayerNorm,
+    PositionalEmbedding,
+    ScaledDotProductAttention,
+    SelectToken,
+    TokenLinear,
+    TokensFromFeatureMap,
+)
+
+
+def _pair(v: int | tuple[int, int]) -> tuple[int, int]:
+    return v if isinstance(v, tuple) else (v, v)
+
+
+def im2col(
+    x: np.ndarray,
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+    padding: tuple[int, int],
+    dilation: int = 1,
+) -> np.ndarray:
+    """Unfold (B, C, H, W) into (B, C*kh*kw, out_h*out_w) patch columns."""
+    b, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    eff_kh = dilation * (kh - 1) + 1
+    eff_kw = dilation * (kw - 1) + 1
+    out_h = (h + 2 * ph - eff_kh) // sh + 1
+    out_w = (w + 2 * pw - eff_kw) // sw + 1
+    padded = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    cols = np.empty((b, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            hi = i * dilation
+            wj = j * dilation
+            cols[:, :, i, j] = padded[
+                :, :, hi : hi + sh * out_h : sh, wj : wj + sw * out_w : sw
+            ]
+    return cols.reshape(b, c * kh * kw, out_h * out_w)
+
+
+def conv2d_forward(x: np.ndarray, layer: Conv2d, weight: np.ndarray,
+                   bias: np.ndarray | None) -> np.ndarray:
+    """Grouped 2-D convolution via im2col."""
+    kh, kw = _pair(layer.kernel_size)
+    sh, sw = _pair(layer.stride)
+    ph, pw = _pair(layer.padding)
+    b, c, h, w = x.shape
+    g = layer.groups
+    cin_g = layer.in_channels // g
+    cout_g = layer.out_channels // g
+    eff_kh = layer.dilation * (kh - 1) + 1
+    eff_kw = layer.dilation * (kw - 1) + 1
+    out_h = (h + 2 * ph - eff_kh) // sh + 1
+    out_w = (w + 2 * pw - eff_kw) // sw + 1
+    out = np.empty((b, layer.out_channels, out_h, out_w), dtype=x.dtype)
+    w_mat = weight.reshape(g, cout_g, cin_g * kh * kw)
+    for gi in range(g):
+        xg = x[:, gi * cin_g : (gi + 1) * cin_g]
+        cols = im2col(xg, (kh, kw), (sh, sw), (ph, pw), layer.dilation)
+        res = np.einsum("ok,bkl->bol", w_mat[gi], cols)
+        out[:, gi * cout_g : (gi + 1) * cout_g] = res.reshape(
+            b, cout_g, out_h, out_w
+        )
+    if bias is not None:
+        out += bias[None, :, None, None]
+    return out
+
+
+def _pool2d(x: np.ndarray, layer: MaxPool2d | AvgPool2d, mode: str) -> np.ndarray:
+    kh, kw = _pair(layer.kernel_size)
+    stride = layer.stride if layer.stride is not None else layer.kernel_size
+    sh, sw = _pair(stride)
+    ph, pw = _pair(layer.padding)
+    b, c, h, w = x.shape
+    pad_value = -np.inf if mode == "max" else 0.0
+    padded = np.full((b, c, h + 2 * ph, w + 2 * pw), pad_value, dtype=x.dtype)
+    padded[:, :, ph : ph + h, pw : pw + w] = x
+    if layer.ceil_mode:
+        from repro.graph.tensor import pool_output_hw_ceil
+
+        out_h = pool_output_hw_ceil(h, kh, sh, ph)
+        out_w = pool_output_hw_ceil(w, kw, sw, pw)
+        need_h = (out_h - 1) * sh + kh
+        need_w = (out_w - 1) * sw + kw
+        extra_h = max(0, need_h - padded.shape[2])
+        extra_w = max(0, need_w - padded.shape[3])
+        if extra_h or extra_w:
+            padded = np.pad(
+                padded,
+                ((0, 0), (0, 0), (0, extra_h), (0, extra_w)),
+                constant_values=pad_value,
+            )
+    else:
+        out_h = (h + 2 * ph - kh) // sh + 1
+        out_w = (w + 2 * pw - kw) // sw + 1
+    windows = np.empty((b, c, out_h, out_w, kh * kw), dtype=x.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            windows[..., i * kw + j] = padded[
+                :, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw
+            ]
+    if mode == "max":
+        return windows.max(axis=-1)
+    # Average pooling divides by the full window size (count_include_pad).
+    return windows.sum(axis=-1) / (kh * kw)
+
+
+def _adaptive_avgpool(x: np.ndarray, out_hw: tuple[int, int]) -> np.ndarray:
+    b, c, h, w = x.shape
+    oh, ow = out_hw
+    out = np.empty((b, c, oh, ow), dtype=x.dtype)
+    for i in range(oh):
+        h0, h1 = (i * h) // oh, -(-((i + 1) * h) // oh)
+        for j in range(ow):
+            w0, w1 = (j * w) // ow, -(-((j + 1) * w) // ow)
+            out[:, :, i, j] = x[:, :, h0:h1, w0:w1].mean(axis=(2, 3))
+    return out
+
+
+_ACTIVATIONS = {
+    "relu": lambda x: np.maximum(x, 0.0),
+    "relu6": lambda x: np.clip(x, 0.0, 6.0),
+    "leaky_relu": lambda x: np.where(x > 0, x, 0.01 * x),
+    "sigmoid": lambda x: 1.0 / (1.0 + np.exp(-x)),
+    "tanh": np.tanh,
+    "silu": lambda x: x / (1.0 + np.exp(-x)),
+    "hardsigmoid": lambda x: np.clip(x / 6.0 + 0.5, 0.0, 1.0),
+    "hardswish": lambda x: x * np.clip(x / 6.0 + 0.5, 0.0, 1.0),
+    "gelu": lambda x: 0.5 * x * (1.0 + np.tanh(0.7978845608 * (x + 0.044715 * x**3))),
+}
+
+
+class ReferenceExecutor:
+    """Executes a graph forward with deterministic random parameters."""
+
+    def __init__(self, graph: ComputeGraph, seed: int = 0) -> None:
+        self.graph = graph
+        self.rng = np.random.default_rng(seed)
+        self.params: dict[str, dict[str, np.ndarray]] = {}
+        self._init_params()
+
+    def _init_params(self) -> None:
+        for node in self.graph:
+            layer = node.layer
+            if isinstance(layer, Conv2d):
+                kh, kw = _pair(layer.kernel_size)
+                shape = (
+                    layer.out_channels,
+                    layer.in_channels // layer.groups,
+                    kh,
+                    kw,
+                )
+                scale = 1.0 / np.sqrt(np.prod(shape[1:]))
+                entry = {
+                    "weight": self.rng.normal(0, scale, shape).astype(np.float64)
+                }
+                if layer.bias:
+                    entry["bias"] = self.rng.normal(
+                        0, 0.01, layer.out_channels
+                    ).astype(np.float64)
+                self.params[node.name] = entry
+            elif isinstance(layer, Linear):
+                scale = 1.0 / np.sqrt(layer.in_features)
+                entry = {
+                    "weight": self.rng.normal(
+                        0, scale, (layer.out_features, layer.in_features)
+                    ).astype(np.float64)
+                }
+                if layer.bias:
+                    entry["bias"] = self.rng.normal(
+                        0, 0.01, layer.out_features
+                    ).astype(np.float64)
+                self.params[node.name] = entry
+            elif isinstance(layer, BatchNorm2d):
+                self.params[node.name] = {
+                    "gamma": np.ones(layer.num_features),
+                    "beta": np.zeros(layer.num_features),
+                    "mean": np.zeros(layer.num_features),
+                    "var": np.ones(layer.num_features),
+                }
+            elif isinstance(layer, TokenLinear):
+                scale = 1.0 / np.sqrt(layer.in_features)
+                entry = {
+                    "weight": self.rng.normal(
+                        0, scale, (layer.out_features, layer.in_features)
+                    )
+                }
+                if layer.bias:
+                    entry["bias"] = self.rng.normal(
+                        0, 0.01, layer.out_features
+                    )
+                self.params[node.name] = entry
+            elif isinstance(layer, LayerNorm):
+                self.params[node.name] = {
+                    "gamma": np.ones(layer.dim),
+                    "beta": np.zeros(layer.dim),
+                }
+            elif isinstance(layer, ClassToken):
+                self.params[node.name] = {
+                    "token": self.rng.normal(0, 0.02, layer.dim)
+                }
+            elif isinstance(layer, PositionalEmbedding):
+                self.params[node.name] = {
+                    "embed": self.rng.normal(
+                        0, 0.02, (layer.dim, layer.seq_len)
+                    )
+                }
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass; ``x`` has shape (B, C, H, W) matching the graph input."""
+        inputs = self.graph.input_nodes
+        if len(inputs) != 1:
+            raise ValueError("ReferenceExecutor supports single-input graphs")
+        values: dict[str, np.ndarray] = {}
+        return self._run_from({inputs[0].name: x}, values)
+
+    def run_with_inputs(self, feeds: dict[str, np.ndarray]) -> np.ndarray:
+        """Forward pass with explicit per-input feeds (for block subgraphs)."""
+        return self._run_from(dict(feeds), {})
+
+    def _run_from(
+        self,
+        feeds: dict[str, np.ndarray],
+        values: dict[str, np.ndarray],
+    ) -> np.ndarray:
+        for node in self.graph:
+            layer = node.layer
+            if isinstance(layer, Input):
+                if node.name not in feeds:
+                    raise ValueError(f"missing feed for input {node.name!r}")
+                values[node.name] = feeds[node.name]
+                continue
+            args = [values[p] for p in node.inputs]
+            values[node.name] = self._apply(node.name, layer, args)
+        return values[self.graph.output_node.name]
+
+    def _apply(
+        self, name: str, layer: object, args: list[np.ndarray]
+    ) -> np.ndarray:
+        if isinstance(layer, Conv2d):
+            p = self.params[name]
+            return conv2d_forward(args[0], layer, p["weight"], p.get("bias"))
+        if isinstance(layer, Linear):
+            p = self.params[name]
+            out = args[0] @ p["weight"].T
+            if "bias" in p:
+                out = out + p["bias"]
+            return out
+        if isinstance(layer, BatchNorm2d):
+            p = self.params[name]
+            x = args[0]
+            inv = 1.0 / np.sqrt(p["var"] + 1e-5)
+            return (x - p["mean"][None, :, None, None]) * (
+                p["gamma"] * inv
+            )[None, :, None, None] + p["beta"][None, :, None, None]
+        if isinstance(layer, Activation):
+            return _ACTIVATIONS[layer.kind](args[0])
+        if isinstance(layer, MaxPool2d):
+            return _pool2d(args[0], layer, "max")
+        if isinstance(layer, AvgPool2d):
+            return _pool2d(args[0], layer, "avg")
+        if isinstance(layer, AdaptiveAvgPool2d):
+            return _adaptive_avgpool(args[0], _pair(layer.output_size))
+        if isinstance(layer, GlobalAvgPool2d):
+            return args[0].mean(axis=(2, 3), keepdims=True)
+        if isinstance(layer, Flatten):
+            return args[0].reshape(args[0].shape[0], -1)
+        if isinstance(layer, Dropout):
+            return args[0]  # inference mode
+        if isinstance(layer, Add):
+            out = args[0]
+            for a in args[1:]:
+                out = out + a
+            return out
+        if isinstance(layer, Concat):
+            return np.concatenate(args, axis=1)
+        if isinstance(layer, Multiply):
+            a, b = args
+            return a * b  # numpy broadcasting handles the (C,1,1) gate
+        if isinstance(layer, LocalResponseNorm):
+            x = args[0]
+            sq = x * x
+            c = x.shape[1]
+            acc = np.zeros_like(x)
+            half = layer.size // 2
+            for ch in range(c):
+                lo, hi = max(0, ch - half), min(c, ch + half + 1)
+                acc[:, ch] = sq[:, lo:hi].sum(axis=1)
+            return x / (2.0 + 1e-4 * acc / layer.size) ** 0.75
+        if isinstance(layer, ZeroPad2d):
+            ph, pw = _pair(layer.padding)
+            return np.pad(args[0], ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+        if isinstance(layer, TokensFromFeatureMap):
+            b, c, h, w = args[0].shape
+            return args[0].reshape(b, c, h * w, 1)
+        if isinstance(layer, ClassToken):
+            x = args[0]
+            token = self.params[name]["token"]
+            b = x.shape[0]
+            cls = np.broadcast_to(
+                token[None, :, None, None], (b, x.shape[1], 1, 1)
+            )
+            return np.concatenate([cls, x], axis=2)
+        if isinstance(layer, PositionalEmbedding):
+            return args[0] + self.params[name]["embed"][None, :, :, None]
+        if isinstance(layer, LayerNorm):
+            x = args[0]
+            p = self.params[name]
+            mean = x.mean(axis=1, keepdims=True)
+            var = x.var(axis=1, keepdims=True)
+            normed = (x - mean) / np.sqrt(var + 1e-6)
+            return normed * p["gamma"][None, :, None, None] + (
+                p["beta"][None, :, None, None]
+            )
+        if isinstance(layer, TokenLinear):
+            x = args[0][..., 0]  # (B, d_in, S)
+            p = self.params[name]
+            out = np.einsum("oi,bis->bos", p["weight"], x)
+            if "bias" in p:
+                out = out + p["bias"][None, :, None]
+            return out[..., None]
+        if isinstance(layer, ScaledDotProductAttention):
+            q, k, v = (a[..., 0] for a in args)  # (B, d, S)
+            b, d, s = q.shape
+            h = layer.num_heads
+            dh = d // h
+            qh = q.reshape(b, h, dh, s)
+            kh = k.reshape(b, h, dh, s)
+            vh = v.reshape(b, h, dh, s)
+            scores = np.einsum("bhdi,bhdj->bhij", qh, kh) / np.sqrt(dh)
+            scores -= scores.max(axis=-1, keepdims=True)
+            attn = np.exp(scores)
+            attn /= attn.sum(axis=-1, keepdims=True)
+            out = np.einsum("bhij,bhdj->bhdi", attn, vh)
+            return out.reshape(b, d, s)[..., None]
+        if isinstance(layer, SelectToken):
+            return args[0][:, :, layer.index, 0]
+        raise NotImplementedError(f"no reference implementation for {layer!r}")

@@ -1,0 +1,97 @@
+"""Tensor shape arithmetic for the ConvNet IR.
+
+Shapes are per-sample (no batch dimension).  ConvMeter's metrics scale
+linearly with the batch size, so the IR counts everything for a single image
+and the performance models multiply by the (mini-)batch size later — exactly
+the factorisation used in Eq. 3 of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Bytes per element for single-precision floats, the precision used by the
+#: paper's PyTorch benchmarks.
+FLOAT32_BYTES = 4
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """Shape of a per-sample activation tensor.
+
+    Either a feature map (``channels, height, width``) or a flat vector
+    (``channels`` only, ``height = width = None``).
+    """
+
+    channels: int
+    height: int | None = None
+    width: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0:
+            raise ValueError(f"channels must be positive, got {self.channels}")
+        if (self.height is None) != (self.width is None):
+            raise ValueError("height and width must both be set or both be None")
+        if self.height is not None:
+            if self.height <= 0 or self.width <= 0:
+                raise ValueError(
+                    f"spatial dims must be positive, got {self.height}x{self.width}"
+                )
+
+    @property
+    def is_spatial(self) -> bool:
+        """True for feature maps, False for flat (post-``Flatten``) vectors."""
+        return self.height is not None
+
+    @property
+    def numel(self) -> int:
+        """Number of scalar elements per sample."""
+        if self.height is None:
+            return self.channels
+        return self.channels * self.height * self.width
+
+    @property
+    def nbytes(self) -> int:
+        """Size in bytes per sample at float32 precision."""
+        return self.numel * FLOAT32_BYTES
+
+    def flattened(self) -> "TensorShape":
+        """Collapse spatial dimensions into the channel dimension."""
+        return TensorShape(self.numel)
+
+    def __str__(self) -> str:
+        if self.height is None:
+            return f"({self.channels})"
+        return f"({self.channels}, {self.height}, {self.width})"
+
+
+def conv_output_hw(
+    in_size: int, kernel: int, stride: int, padding: int, dilation: int = 1
+) -> int:
+    """Output spatial extent of a convolution/pooling window.
+
+    Standard PyTorch floor-mode formula.
+    """
+    effective = dilation * (kernel - 1) + 1
+    out = (in_size + 2 * padding - effective) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"window (k={kernel}, s={stride}, p={padding}, d={dilation}) "
+            f"does not fit input of size {in_size}"
+        )
+    return out
+
+
+def pool_output_hw_ceil(in_size: int, kernel: int, stride: int, padding: int) -> int:
+    """Output size for ceil-mode pooling (used by some torchvision models)."""
+    out = math.ceil((in_size + 2 * padding - kernel) / stride) + 1
+    # PyTorch clips windows that start entirely inside the padding.
+    if (out - 1) * stride >= in_size + padding:
+        out -= 1
+    if out <= 0:
+        raise ValueError(
+            f"ceil-mode window (k={kernel}, s={stride}, p={padding}) "
+            f"does not fit input of size {in_size}"
+        )
+    return out

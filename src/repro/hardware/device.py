@@ -1,0 +1,150 @@
+"""Device specifications for the roofline execution model.
+
+The presets correspond to the processors in the paper's experimental setup
+(Section 4): a single Intel Xeon Gold 5318Y core, a single NVIDIA A100-80GB,
+and an AMD EPYC 7402 core for the cluster nodes.  Numbers are public
+datasheet figures; what matters for the reproduction is not their absolute
+accuracy but that the CPU and GPU sit at very different compute/bandwidth
+balances, so the fitted ConvMeter coefficients differ per platform the same
+way they do in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one compute device for the roofline model."""
+
+    name: str
+    #: "cpu" or "gpu"; drives layer-type efficiency tables.
+    kind: str
+    #: Peak single-precision throughput, FLOP/s.
+    peak_flops: float
+    #: Peak DRAM bandwidth, bytes/s.
+    mem_bandwidth: float
+    #: Fixed per-kernel dispatch cost, seconds (CUDA launch / op dispatch).
+    launch_overhead: float
+    #: Device memory capacity, bytes.
+    memory_bytes: float
+    #: FLOPs of work at which compute utilisation reaches half of peak.
+    #: Models the underutilisation of wide devices on small kernels that the
+    #: paper observes for small batch/image sizes on the A100.
+    sat_flops: float
+    #: Bytes of traffic at which bandwidth utilisation reaches half of peak.
+    sat_bytes: float
+    #: Fixed per-invocation framework overhead, seconds.
+    base_overhead: float
+    #: Log-normal sigma of the measurement noise.
+    noise_sigma: float
+
+    def scaled(
+        self,
+        name: str,
+        flops: float = 1.0,
+        bandwidth: float = 1.0,
+        memory: float = 1.0,
+        launch: float = 1.0,
+    ) -> "DeviceSpec":
+        """Derive a hypothetical device by scaling this one's capabilities.
+
+        The what-if tool behind infrastructure planning: "would 2x the
+        memory bandwidth help this workload?" becomes a derived preset the
+        whole pipeline (campaign → fit → predict) runs against unchanged.
+        """
+        from dataclasses import replace
+
+        if min(flops, bandwidth, memory, launch) <= 0:
+            raise ValueError("scale factors must be positive")
+        return replace(
+            self,
+            name=name,
+            peak_flops=self.peak_flops * flops,
+            mem_bandwidth=self.mem_bandwidth * bandwidth,
+            memory_bytes=self.memory_bytes * memory,
+            launch_overhead=self.launch_overhead * launch,
+        )
+
+    def compute_utilisation(self, flops: float) -> float:
+        """Fraction of peak compute achievable for a kernel of this size."""
+        return flops / (flops + self.sat_flops)
+
+    def bandwidth_utilisation(self, nbytes: float) -> float:
+        """Fraction of peak bandwidth achievable for a transfer of this size."""
+        return nbytes / (nbytes + self.sat_bytes)
+
+
+#: NVIDIA A100 80GB (SXM): 19.5 TFLOP/s fp32, ~2.0 TB/s HBM2e.
+A100_80GB = DeviceSpec(
+    name="a100-80gb",
+    kind="gpu",
+    peak_flops=19.5e12,
+    mem_bandwidth=1.9e12,
+    launch_overhead=2.5e-6,
+    memory_bytes=80e9,
+    sat_flops=3.0e7,
+    sat_bytes=1.5e6,
+    base_overhead=30e-6,
+    noise_sigma=0.06,
+)
+
+#: One core of an Intel Xeon Gold 5318Y (Ice Lake, 2.1 GHz, AVX-512).
+XEON_GOLD_5318Y_CORE = DeviceSpec(
+    name="xeon-gold-5318y-core",
+    kind="cpu",
+    peak_flops=67.2e9,
+    mem_bandwidth=18e9,
+    launch_overhead=8.0e-7,
+    memory_bytes=256e9,
+    sat_flops=2.0e5,
+    sat_bytes=6.0e4,
+    base_overhead=10e-6,
+    noise_sigma=0.10,
+)
+
+#: One core of an AMD EPYC 7402 (Rome, 2.8 GHz, AVX2) — the cluster host CPU.
+EPYC_7402_CORE = DeviceSpec(
+    name="epyc-7402-core",
+    kind="cpu",
+    peak_flops=44.8e9,
+    mem_bandwidth=16e9,
+    launch_overhead=9.0e-7,
+    memory_bytes=256e9,
+    sat_flops=2.0e5,
+    sat_bytes=6.0e4,
+    base_overhead=10e-6,
+    noise_sigma=0.10,
+)
+
+#: An embedded/edge-class GPU (Jetson AGX Orin scale) — the platform class
+#: the paper's outlook targets ("we aim to study edge processors").  Low
+#: peak, low bandwidth, shared LPDDR memory, cheap kernel launches.
+JETSON_ORIN = DeviceSpec(
+    name="jetson-agx-orin",
+    kind="gpu",
+    peak_flops=2.6e12,
+    mem_bandwidth=200e9,
+    launch_overhead=6.0e-6,
+    memory_bytes=32e9,
+    sat_flops=5.0e6,
+    sat_bytes=4.0e5,
+    base_overhead=50e-6,
+    noise_sigma=0.09,
+)
+
+DEVICE_PRESETS: dict[str, DeviceSpec] = {
+    spec.name: spec
+    for spec in (A100_80GB, XEON_GOLD_5318Y_CORE, EPYC_7402_CORE,
+                 JETSON_ORIN)
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    try:
+        return DEVICE_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; presets: {', '.join(DEVICE_PRESETS)}"
+        ) from None

@@ -1,0 +1,168 @@
+"""Single-device simulated executor.
+
+Produces the "measured" runtimes the campaign records: inference time and
+the three training-step phases of Figure 1 (forward pass, backward pass,
+weight/gradient update) on one device.  Distributed runs build on this via
+:mod:`repro.distributed.trainer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.graph import ComputeGraph
+from repro.hardware.device import DeviceSpec
+from repro.hardware.memory import check_fits
+from repro.hardware.noise import multiplicative_noise
+from repro.hardware.roofline import CostProfile, layer_times, profile_graph
+
+#: Backward FLOPs of a parametric layer ≈ 2× forward (input-gradient plus
+#: weight-gradient GEMMs); non-parametric layers only propagate gradients.
+_BWD_FLOPS_PARAM = 2.0
+_BWD_FLOPS_OTHER = 1.0
+
+#: Backward activation traffic: read stored activations and gradients, write
+#: gradients — roughly double the forward traffic.
+_BWD_BYTES_FACTOR = 2.0
+
+#: Adam update: ~10 FLOPs and ~16 bytes of state traffic per parameter.
+_OPT_FLOPS_PER_PARAM = 10.0
+_OPT_BYTES_PER_PARAM = 16.0
+
+#: Kernels launched per parameter tensor during the optimizer step.
+_OPT_KERNELS_PER_TENSOR = 2.0
+
+
+@dataclass(frozen=True)
+class PhaseTimes:
+    """Per-phase wall time of one training step, seconds."""
+
+    forward: float
+    backward: float
+    grad_update: float
+
+    @property
+    def total(self) -> float:
+        return self.forward + self.backward + self.grad_update
+
+    @property
+    def backward_plus_update(self) -> float:
+        """The overlapped phase the paper fits jointly (Section 3.3)."""
+        return self.backward + self.grad_update
+
+
+class SimulatedExecutor:
+    """Runs graphs on one simulated device and reports noisy timings."""
+
+    def __init__(self, device: DeviceSpec, seed: int = 0) -> None:
+        self.device = device
+        self.seed = seed
+
+    # -- profile plumbing ----------------------------------------------------
+
+    def profile(self, graph: ComputeGraph) -> CostProfile:
+        return profile_graph(graph)
+
+    def _noise(self, *identity: object) -> float:
+        return multiplicative_noise(
+            self.device.noise_sigma, self.seed, self.device.name, *identity
+        )
+
+    # -- noise-free components ---------------------------------------------
+
+    def forward_time_clean(self, profile: CostProfile, batch: int) -> float:
+        """Deterministic forward-pass time (also the inference time)."""
+        times = layer_times(profile, batch, self.device)
+        return float(times.sum()) + self.device.base_overhead
+
+    def backward_time_clean(self, profile: CostProfile, batch: int) -> float:
+        """Deterministic backward-pass time."""
+        flops_factor = np.where(
+            profile.has_params, _BWD_FLOPS_PARAM, _BWD_FLOPS_OTHER
+        )
+        times = layer_times(
+            profile,
+            batch,
+            self.device,
+            flops_factor=flops_factor,
+            bytes_factor=_BWD_BYTES_FACTOR,
+        )
+        return float(times.sum()) + self.device.base_overhead
+
+    def grad_update_time_clean(self, profile: CostProfile) -> float:
+        """Deterministic single-device optimizer (Adam) step time.
+
+        Per-tensor kernel launches dominate for deep networks, which is why
+        the paper models the N=1 gradient update as ``c1 · L``.
+        """
+        params = profile.param_counts[profile.has_params]
+        if params.size == 0:
+            return self.device.base_overhead
+        launch = (
+            _OPT_KERNELS_PER_TENSOR * params.size * self.device.launch_overhead
+        )
+        traffic = _OPT_BYTES_PER_PARAM * float(params.sum())
+        compute = _OPT_FLOPS_PER_PARAM * float(params.sum())
+        stream = max(
+            traffic / (self.device.mem_bandwidth * 0.8),
+            compute / (self.device.peak_flops * 0.05),
+        )
+        return launch + stream + self.device.base_overhead
+
+    def layer_breakdown(
+        self, profile: CostProfile, batch: int
+    ) -> np.ndarray:
+        """Noise-free per-layer forward times — simulator observability.
+
+        Sums (plus the base overhead) to :meth:`forward_time_clean`, so
+        the breakdown is exact, not approximate.
+        """
+        return layer_times(profile, batch, self.device)
+
+    # -- measurements --------------------------------------------------------
+
+    def measure_inference(
+        self,
+        graph_or_profile: ComputeGraph | CostProfile,
+        batch: int,
+        rep: int = 0,
+        enforce_memory: bool = True,
+    ) -> float:
+        """One noisy inference measurement, seconds."""
+        profile = self._as_profile(graph_or_profile)
+        if enforce_memory:
+            check_fits(profile, batch, self.device, training=False)
+        clean = self.forward_time_clean(profile, batch)
+        return clean * self._noise(profile.graph_name, batch, "inference", rep)
+
+    def measure_training_step(
+        self,
+        graph_or_profile: ComputeGraph | CostProfile,
+        batch: int,
+        rep: int = 0,
+        enforce_memory: bool = True,
+    ) -> PhaseTimes:
+        """One noisy single-device training-step measurement."""
+        profile = self._as_profile(graph_or_profile)
+        if enforce_memory:
+            check_fits(profile, batch, self.device, training=True)
+        name = profile.graph_name
+        fwd = self.forward_time_clean(profile, batch) * self._noise(
+            name, batch, "fwd", rep
+        )
+        bwd = self.backward_time_clean(profile, batch) * self._noise(
+            name, batch, "bwd", rep
+        )
+        grad = self.grad_update_time_clean(profile) * self._noise(
+            name, batch, "grad", rep
+        )
+        return PhaseTimes(forward=fwd, backward=bwd, grad_update=grad)
+
+    def _as_profile(
+        self, graph_or_profile: ComputeGraph | CostProfile
+    ) -> CostProfile:
+        if isinstance(graph_or_profile, CostProfile):
+            return graph_or_profile
+        return profile_graph(graph_or_profile)

@@ -1,0 +1,90 @@
+"""Device-memory footprint model and out-of-memory gating.
+
+The paper's campaign runs configurations "as long as the available memory on
+the target system allows" (Section 4) and explicitly predicts batch sizes
+*beyond* device memory (Section 4.3, Figure 9).  The simulator therefore
+needs the same asymmetry: measurements are memory-gated, predictions are
+not.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.device import DeviceSpec
+from repro.hardware.roofline import CostProfile
+
+_FLOAT = 4  # float32 bytes
+
+#: Adam keeps parameters, gradients, and two moment buffers resident.
+_ADAM_STATE_COPIES = 4
+
+#: Fragmentation / allocator / framework reserve headroom.
+_HEADROOM = 0.90
+
+
+class OutOfDeviceMemory(RuntimeError):
+    """Raised when a configuration does not fit on the device."""
+
+    def __init__(self, needed: float, available: float, what: str) -> None:
+        super().__init__(
+            f"{what} needs {needed / 1e9:.2f} GB but device has "
+            f"{available / 1e9:.2f} GB"
+        )
+        self.needed = needed
+        self.available = available
+
+
+def inference_memory_bytes(profile: CostProfile, batch: int) -> float:
+    """Footprint of a forward pass: weights + the two largest live tensors.
+
+    Inference frees each activation once consumed, so the high-water mark is
+    approximately the largest producer/consumer pair, not the sum.
+    """
+    weights = profile.total_params * _FLOAT
+    if profile.n_layers == 0:
+        return weights
+    act = profile.output_elems * (batch * _FLOAT)
+    largest_pair = float(act.max()) * 2.0
+    workspace = 0.1 * largest_pair  # im2col / cuDNN workspace
+    return weights + largest_pair + workspace
+
+
+def training_memory_bytes(profile: CostProfile, batch: int) -> float:
+    """Footprint of a training step.
+
+    Every activation is retained for the backward pass, and the optimizer
+    keeps _ADAM_STATE_COPIES copies of the parameters.
+    """
+    weights = profile.total_params * _FLOAT * _ADAM_STATE_COPIES
+    activations = float(profile.output_elems.sum()) * batch * _FLOAT
+    return weights + activations
+
+
+def check_fits(
+    profile: CostProfile,
+    batch: int,
+    device: DeviceSpec,
+    training: bool,
+) -> None:
+    """Raise :class:`OutOfDeviceMemory` if the configuration cannot run."""
+    needed = (
+        training_memory_bytes(profile, batch)
+        if training
+        else inference_memory_bytes(profile, batch)
+    )
+    available = device.memory_bytes * _HEADROOM
+    if needed > available:
+        mode = "training step" if training else "inference"
+        raise OutOfDeviceMemory(
+            needed, available, f"{profile.graph_name} batch={batch} {mode}"
+        )
+
+
+def fits(
+    profile: CostProfile, batch: int, device: DeviceSpec, training: bool
+) -> bool:
+    """Boolean form of :func:`check_fits` for campaign filtering."""
+    try:
+        check_fits(profile, batch, device, training)
+    except OutOfDeviceMemory:
+        return False
+    return True

@@ -1,0 +1,28 @@
+"""Model zoo: from-scratch graph definitions of the ConvNets the paper
+benchmarks (Section 4, "Benchmarks").
+
+Every builder returns a :class:`repro.graph.ComputeGraph` whose layer
+sequence, shapes, and parameter counts match the torchvision reference
+implementations the paper profiled.  The zoo is the stand-in for
+``torchvision.models``; ConvMeter only ever consumes the graphs.
+"""
+
+from repro.zoo.registry import (
+    ModelEntry,
+    available_models,
+    build_model,
+    get_entry,
+    register_model,
+)
+from repro.zoo.blocks import BLOCK_CATALOGUE, BlockSpec, build_block
+
+__all__ = [
+    "ModelEntry",
+    "available_models",
+    "build_model",
+    "get_entry",
+    "register_model",
+    "BLOCK_CATALOGUE",
+    "BlockSpec",
+    "build_block",
+]

@@ -1,0 +1,65 @@
+"""Block catalogue for block-wise prediction (Table 2 / Figure 4).
+
+Each entry names a repeating unit inside a zoo model, identified by its
+block scope.  :func:`build_block` builds the parent model for a given image
+size and extracts the block as a standalone graph (edges into the block
+become fresh inputs), exactly how the paper treats blocks as "small neural
+networks themselves".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.graph import ComputeGraph
+from repro.zoo.registry import build_model, get_entry
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """One row of the paper's Table 2."""
+
+    #: Display name used in the paper's table (e.g. "Bottleneck4").
+    name: str
+    #: Zoo model the block is extracted from.
+    model: str
+    #: Block scope inside the model graph.
+    scope: str
+
+    @property
+    def display_source(self) -> str:
+        return get_entry(self.model).display
+
+
+#: The nine blocks evaluated in Table 2, mapped onto our zoo's block scopes.
+#: The index in a block's display name is its flat residual-block index in
+#: the source model (the convention used by the paper's Torchvision dump).
+BLOCK_CATALOGUE: tuple[BlockSpec, ...] = (
+    BlockSpec("Bottleneck1", "resnext50_32x4d", "layer1.1"),
+    BlockSpec("Bottleneck4", "resnet50", "layer2.1"),
+    BlockSpec("Conv2d 3x3", "inception_v3", "stem.conv2"),
+    BlockSpec("BasicBlock7", "resnet18", "layer4.1"),
+    BlockSpec("InvertedResidual2", "mobilenet_v3_large", "features.2"),
+    BlockSpec("ResBottleneckBlock3", "regnet_x_8gf", "block2.1"),
+    BlockSpec("Bottleneck9", "wide_resnet50_2", "layer3.2"),
+    BlockSpec("MBConv", "efficientnet_b0", "features.1"),
+    BlockSpec("InvertedResidual3", "mobilenet_v2", "features.3"),
+)
+
+
+def build_block(spec: BlockSpec, image_size: int = 224) -> ComputeGraph:
+    """Extract the block's standalone subgraph at a given model image size."""
+    entry = get_entry(spec.model)
+    if image_size < entry.min_image_size:
+        raise ValueError(
+            f"{spec.model} requires image_size >= {entry.min_image_size}"
+        )
+    model = build_model(spec.model, image_size)
+    return model.block_subgraph(spec.scope)
+
+
+def block_by_name(name: str) -> BlockSpec:
+    for spec in BLOCK_CATALOGUE:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown block {name!r}")

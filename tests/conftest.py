@@ -1,0 +1,73 @@
+"""Shared fixtures: small, fast campaign datasets and common graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchdata import (
+    block_campaign,
+    distributed_campaign,
+    inference_campaign,
+    training_campaign,
+)
+from repro.graph.builder import GraphBuilder
+from repro.hardware.device import A100_80GB
+
+#: A reduced sweep shared by unit tests — enough structure for fitting,
+#: small enough to keep the suite fast.
+SMALL_MODELS = ("alexnet", "resnet18", "resnet50", "mobilenet_v2", "vgg11")
+SMALL_BATCHES = (1, 8, 64, 256)
+SMALL_IMAGES = (64, 128, 224)
+
+
+@pytest.fixture(scope="session")
+def small_inference_data():
+    return inference_campaign(
+        models=SMALL_MODELS,
+        device=A100_80GB,
+        batch_sizes=SMALL_BATCHES,
+        image_sizes=SMALL_IMAGES,
+        seed=21,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_training_data():
+    return training_campaign(
+        models=SMALL_MODELS,
+        device=A100_80GB,
+        batch_sizes=SMALL_BATCHES,
+        image_sizes=SMALL_IMAGES,
+        seed=22,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_distributed_data():
+    return distributed_campaign(
+        models=SMALL_MODELS,
+        node_counts=(1, 2, 4),
+        batch_sizes=(16, 64),
+        image_sizes=(64, 128),
+        seed=23,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_block_data():
+    return block_campaign(
+        batch_sizes=SMALL_BATCHES,
+        image_sizes=(96, 160),
+        seed=24,
+    )
+
+
+@pytest.fixture
+def tiny_graph():
+    """A minimal conv→bn→relu→pool→fc graph for layer-level tests."""
+    b = GraphBuilder("tiny")
+    x = b.input(3, 16, 16)
+    x = b.conv_bn_act(x, 8, kernel_size=3, padding=1)
+    x = b.maxpool(x, 2, stride=2)
+    x = b.classifier(x, 10)
+    return b.finish()

@@ -1,0 +1,81 @@
+"""Reporting: table rendering and the related-work matrix."""
+
+import pytest
+
+from repro.analysis import RELATED_WORK, format_series, format_table
+from repro.analysis.related_work import convmeter_row, to_rows
+
+
+class TestFormatTable:
+    ROWS = [
+        {"name": "a", "value": 1.23456, "count": 10},
+        {"name": "bb", "value": 2.5, "count": 20},
+    ]
+
+    def test_headers_and_alignment(self):
+        text = format_table(self.ROWS, [("name", None), ("value", ".2f")])
+        lines = text.splitlines()
+        assert lines[0].split() == ["name", "value"]
+        assert "1.23" in lines[2]
+        assert "2.50" in lines[3]
+
+    def test_title(self):
+        text = format_table(self.ROWS, [("name", None)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_missing_cell_dash(self):
+        text = format_table(
+            [{"a": 1}, {"a": 2, "b": 3}], [("a", None), ("b", None)]
+        )
+        assert "-" in text.splitlines()[2]
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], [("a", None)])
+
+    def test_format_spec_applied(self):
+        text = format_table([{"x": 0.123456}], [("x", ".1e")])
+        assert "1.2e-01" in text
+
+
+class TestFormatSeries:
+    def test_aligned_series(self):
+        text = format_series(
+            [1, 2, 4],
+            {"pred": [10.0, 20.0, 40.0], "meas": [11.0, 19.0, 41.0]},
+            x_label="nodes",
+        )
+        lines = text.splitlines()
+        assert lines[0].split() == ["nodes", "pred", "meas"]
+        assert len(lines) == 5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series([1, 2], {"s": [1.0]})
+
+
+class TestRelatedWork:
+    def test_convmeter_is_last_and_complete(self):
+        row = convmeter_row()
+        assert row.name == "ConvMeter (ours)"
+        assert row.predicts_inference and row.predicts_training
+        assert row.block_level and row.multi_gpu and row.multi_node
+        assert row.unseen_models
+
+    def test_only_convmeter_predicts_blocks(self):
+        block_capable = [m.name for m in RELATED_WORK if m.block_level]
+        assert block_capable == ["ConvMeter (ours)"]
+
+    def test_matrix_covers_paper_methods(self):
+        names = {m.name for m in RELATED_WORK}
+        for expected in ("PALEO", "DIPPM", "nn-Meter", "Habitat", "DNNPerf"):
+            assert expected in names
+
+    def test_rows_render(self):
+        rows = to_rows()
+        assert len(rows) == len(RELATED_WORK)
+        assert rows[-1]["blocks"] == "yes"
+
+    def test_claims_backed_by_code(self):
+        from repro.experiments.table4 import run_table4
+
+        assert run_table4().verify_convmeter_claims() == []

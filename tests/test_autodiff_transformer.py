@@ -1,0 +1,148 @@
+"""Gradient checks for the transformer layers and end-to-end ViT training."""
+
+import numpy as np
+import pytest
+
+from repro.graph.autodiff import TrainableExecutor, softmax_cross_entropy
+from repro.graph.builder import GraphBuilder
+from repro.graph.transformer_layers import (
+    ClassToken,
+    LayerNorm,
+    PositionalEmbedding,
+    ScaledDotProductAttention,
+    SelectToken,
+    TokenLinear,
+    TokensFromFeatureMap,
+)
+from tests.test_autodiff import _check_all_grads
+
+
+class TestTransformerGradients:
+    def test_token_linear_gradcheck(self):
+        b = GraphBuilder("g")
+        x = b.input(4, 3, 3)
+        t = b.add_layer(TokensFromFeatureMap(), x)
+        b.add_layer(TokenLinear(4, 5), t)
+        _check_all_grads(b.finish(), (2, 4, 3, 3))
+
+    def test_layernorm_gradcheck(self):
+        b = GraphBuilder("g")
+        x = b.input(4, 3, 3)
+        t = b.add_layer(TokensFromFeatureMap(), x)
+        t = b.add_layer(LayerNorm(4), t)
+        b.add_layer(TokenLinear(4, 3), t)
+        _check_all_grads(b.finish(), (1, 4, 3, 3), rtol=5e-4)
+
+    def test_class_token_and_positional_gradcheck(self):
+        b = GraphBuilder("g")
+        x = b.input(4, 2, 2)
+        t = b.add_layer(TokensFromFeatureMap(), x)
+        t = b.add_layer(ClassToken(4), t)
+        t = b.add_layer(PositionalEmbedding(4, 5), t)
+        b.add_layer(TokenLinear(4, 2), t)
+        _check_all_grads(b.finish(), (2, 4, 2, 2))
+
+    def test_attention_gradcheck(self):
+        b = GraphBuilder("g")
+        x = b.input(4, 2, 2)
+        t = b.add_layer(TokensFromFeatureMap(), x)
+        q = b.add_layer(TokenLinear(4, 4), t)
+        k = b.add_layer(TokenLinear(4, 4), t)
+        v = b.add_layer(TokenLinear(4, 4), t)
+        b.add_layer(ScaledDotProductAttention(2), q, k, v)
+        _check_all_grads(b.finish(), (1, 4, 2, 2), rtol=5e-4)
+
+    def test_gelu_gradcheck(self):
+        b = GraphBuilder("g")
+        x = b.input(3, 3, 3)
+        b.act(x, "gelu")
+        g = b.finish()
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(1, 3, 3, 3)) * 2
+        ex = TrainableExecutor(g, seed=0)
+        out = ex.forward(data)
+        ex.backward(np.ones_like(out))
+        gx = ex.input_gradient()
+        eps = 1e-6
+        fd = (ex.forward(data + eps).sum() - ex.forward(data - eps).sum()) / (
+            2 * eps
+        )
+        assert gx.sum() == pytest.approx(fd, rel=1e-4)
+
+    def test_select_token_gradcheck(self):
+        b = GraphBuilder("g")
+        x = b.input(3, 2, 2)
+        t = b.add_layer(TokensFromFeatureMap(), x)
+        t = b.add_layer(SelectToken(1), t)
+        b.linear(t, 2)
+        _check_all_grads(b.finish(), (2, 3, 2, 2))
+
+    def test_full_encoder_block_gradcheck(self):
+        """One complete pre-norm transformer encoder block."""
+        dim, heads = 4, 2
+        b = GraphBuilder("enc")
+        x = b.input(dim, 2, 2)
+        t = b.add_layer(TokensFromFeatureMap(), x)
+        n = b.add_layer(LayerNorm(dim), t)
+        q = b.add_layer(TokenLinear(dim, dim), n)
+        k = b.add_layer(TokenLinear(dim, dim), n)
+        v = b.add_layer(TokenLinear(dim, dim), n)
+        a = b.add_layer(ScaledDotProductAttention(heads), q, k, v)
+        p = b.add_layer(TokenLinear(dim, dim), a)
+        t = b.add(t, p)
+        n2 = b.add_layer(LayerNorm(dim), t)
+        h = b.add_layer(TokenLinear(dim, 2 * dim), n2)
+        h = b.act(h, "gelu")
+        h = b.add_layer(TokenLinear(2 * dim, dim), h)
+        b.add(t, h)
+        _check_all_grads(b.finish(), (1, dim, 2, 2), rtol=1e-3, atol=1e-6)
+
+
+class TestTinyViTTraining:
+    def _tiny_vit(self):
+        """A one-block ViT over 8x8 images with 4px patches."""
+        dim, heads = 8, 2
+        b = GraphBuilder("tiny_vit")
+        x = b.input(1, 8, 8)
+        x = b.conv(x, dim, kernel_size=4, stride=4)
+        t = b.add_layer(TokensFromFeatureMap(), x)
+        t = b.add_layer(ClassToken(dim), t)
+        t = b.add_layer(PositionalEmbedding(dim, 5), t)
+        n = b.add_layer(LayerNorm(dim), t)
+        q = b.add_layer(TokenLinear(dim, dim), n)
+        k = b.add_layer(TokenLinear(dim, dim), n)
+        v = b.add_layer(TokenLinear(dim, dim), n)
+        a = b.add_layer(ScaledDotProductAttention(heads), q, k, v)
+        p = b.add_layer(TokenLinear(dim, dim), a)
+        t = b.add(t, p)
+        t = b.add_layer(LayerNorm(dim), t)
+        t = b.add_layer(SelectToken(0), t)
+        b.linear(t, 2)
+        return b.finish()
+
+    def test_vit_trains_on_toy_task(self):
+        g = self._tiny_vit()
+        ex = TrainableExecutor(g, seed=4)
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, 48)
+        data = rng.normal(0, 0.5, (48, 1, 8, 8))
+        data[labels == 1, :, :, :4] += 1.5
+        first = None
+        for _ in range(40):
+            logits = ex.forward(data)
+            loss, grad = softmax_cross_entropy(logits, labels)
+            if first is None:
+                first = loss
+            ex.sgd_step(ex.backward(grad), lr=0.3)
+        assert loss < 0.5 * first
+
+    def test_gradient_count_matches_parametric_layers(self):
+        g = self._tiny_vit()
+        ex = TrainableExecutor(g, seed=4)
+        data = np.random.default_rng(1).normal(size=(4, 1, 8, 8))
+        logits = ex.forward(data)
+        _loss, grad = softmax_cross_entropy(
+            logits, np.zeros(4, dtype=int)
+        )
+        param_grads = ex.backward(grad)
+        assert len(param_grads) == g.parametric_layer_count()

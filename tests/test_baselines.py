@@ -1,0 +1,168 @@
+"""Baselines: single-metric variants, PALEO, and the DIPPM surrogate."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DippmSurrogate,
+    GraphUnsupportedError,
+    PaleoModel,
+    SINGLE_METRIC_VARIANTS,
+    single_metric_model,
+)
+from repro.baselines.dippm import check_graph_supported
+from repro.hardware.device import A100_80GB
+from repro.zoo import available_models, build_model
+from tests.test_core_models import synthetic_dataset
+
+
+class TestSingleMetricVariants:
+    def test_variant_catalogue(self):
+        assert set(SINGLE_METRIC_VARIANTS) == {
+            "flops", "inputs", "outputs", "combined",
+        }
+
+    def test_variant_restricts_features(self):
+        model = single_metric_model("flops")
+        assert model.metric_names == ("flops",)
+
+    def test_combined_is_full_model(self):
+        model = single_metric_model("combined")
+        assert model.metric_names == ("flops", "inputs", "outputs")
+
+    def test_unknown_variant(self):
+        with pytest.raises(KeyError):
+            single_metric_model("weights")
+
+    def test_single_metric_fits_and_predicts(self):
+        data = synthetic_dataset()
+        model = single_metric_model("flops").fit(data)
+        assert np.all(np.isfinite(model.predict(data)))
+
+    def test_combined_beats_singles_on_campaign(self, small_inference_data):
+        data = small_inference_data
+        scores = {}
+        for name in SINGLE_METRIC_VARIANTS:
+            scores[name] = (
+                single_metric_model(name).fit(data).evaluate(data).mape
+            )
+        assert scores["combined"] <= min(
+            scores["flops"], scores["inputs"], scores["outputs"]
+        )
+
+
+class TestPaleo:
+    def test_no_fitting_needed(self):
+        model = PaleoModel(A100_80GB)
+        assert model.fit(None) is model
+
+    def test_predictions_positive(self, small_inference_data):
+        pred = PaleoModel(A100_80GB).predict(small_inference_data)
+        assert np.all(pred > 0)
+
+    def test_percent_of_peak_scales_prediction(self, small_inference_data):
+        fast = PaleoModel(A100_80GB, percent_of_peak=1.0)
+        slow = PaleoModel(A100_80GB, percent_of_peak=0.25)
+        f = fast.predict(small_inference_data)
+        s = slow.predict(small_inference_data)
+        np.testing.assert_allclose(s, 4.0 * f)
+
+    def test_invalid_percent(self):
+        with pytest.raises(ValueError):
+            PaleoModel(A100_80GB, percent_of_peak=0.0)
+
+    def test_worse_than_convmeter(self, small_inference_data):
+        """The Section 5 critique: an unfitted FLOPs/bandwidth model cannot
+        compete with the fitted three-metric regression."""
+        from repro.core.forward import ForwardModel
+
+        convmeter = (
+            ForwardModel().fit(small_inference_data)
+            .evaluate(small_inference_data)
+        )
+        paleo = PaleoModel(A100_80GB).evaluate(small_inference_data)
+        assert convmeter.mape < paleo.mape
+
+    def test_profile_prediction(self):
+        from repro.hardware.roofline import zoo_profile
+
+        t = PaleoModel(A100_80GB).predict_profile(
+            zoo_profile("resnet18", 64), 8
+        )
+        assert t > 0
+
+
+class TestDippmParser:
+    def test_rejects_only_fire_module_models(self):
+        rejected = []
+        for name in available_models():
+            graph = build_model(name, 128)
+            try:
+                check_graph_supported(graph)
+            except GraphUnsupportedError:
+                rejected.append(name)
+        # The rejection is structural: exactly the fire-module family.
+        assert rejected == ["squeezenet1_0", "squeezenet1_1"]
+
+    def test_error_message_mentions_fire(self):
+        with pytest.raises(GraphUnsupportedError, match="fire"):
+            check_graph_supported(build_model("squeezenet1_0", 128))
+
+
+class TestDippmSurrogate:
+    TRAIN = ["resnet18", "resnet50", "mobilenet_v2", "vgg11", "alexnet"]
+
+    @pytest.fixture(scope="class")
+    def surrogate(self):
+        return DippmSurrogate(seed=5).train(list(self.TRAIN))
+
+    def test_untrained_predict_raises(self):
+        with pytest.raises(RuntimeError, match="not trained"):
+            DippmSurrogate().predict_model("resnet18", 16)
+
+    def test_predictions_positive(self, surrogate):
+        for batch in (16, 64, 2000):
+            assert surrogate.predict_model("efficientnet_b0", batch) > 0
+
+    def test_prediction_deterministic(self, surrogate):
+        a = surrogate.predict_model("resnet18", 64)
+        b = surrogate.predict_model("resnet18", 64)
+        assert a == b
+
+    def test_rejects_unparseable_at_predict(self, surrogate):
+        with pytest.raises(GraphUnsupportedError):
+            surrogate.predict_model("squeezenet1_0", 16)
+
+    def test_skips_unparseable_in_training(self):
+        s = DippmSurrogate(seed=5).train(
+            list(self.TRAIN) + ["squeezenet1_0"]
+        )
+        assert s._X is not None
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError, match="at least 8"):
+            DippmSurrogate(seed=5).train(["alexnet"])
+
+    def test_on_grid_better_than_off_grid(self, surrogate):
+        """The surrogate is grid-bound: accuracy at its training batch sizes
+        beats accuracy at unseen ones for a held-out model."""
+        from repro.hardware.executor import SimulatedExecutor
+        from repro.hardware.roofline import zoo_profile
+
+        executor = SimulatedExecutor(A100_80GB, seed=123)
+        profile = zoo_profile("efficientnet_b0", 128)
+
+        def err(batch: int) -> float:
+            measured = executor.measure_inference(
+                profile, batch, enforce_memory=False
+            )
+            predicted = surrogate.predict_model("efficientnet_b0", batch)
+            return abs(predicted - measured) / measured
+
+        on_grid = np.mean([err(b) for b in surrogate.TRAIN_BATCHES])
+        off_grid = np.mean([err(b) for b in (48, 700, 2000)])
+        assert on_grid < off_grid
+
+    def test_invalid_ridge_weight(self):
+        with pytest.raises(ValueError):
+            DippmSurrogate(ridge_weight=1.5)

@@ -1,0 +1,190 @@
+"""CLI: every subcommand exercised through main()."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListing:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet50" in out and "ResNet50" in out
+
+    def test_blocks(self, capsys):
+        assert main(["blocks"]) == 0
+        out = capsys.readouterr().out
+        assert "Bottleneck4" in out and "layer2.1" in out
+
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "a100-80gb" in out and "jetson-agx-orin" in out
+
+
+@pytest.fixture(scope="module")
+def campaign_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "campaign.json"
+    rc = main(
+        [
+            "campaign",
+            "--scenario", "inference",
+            "--models", "alexnet", "resnet18",
+            "--seed", "3",
+            "-o", str(path),
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def training_campaign_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "training.json"
+    rc = main(
+        [
+            "campaign",
+            "--scenario", "training",
+            "--models", "alexnet", "resnet18",
+            "-o", str(path),
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+class TestCampaign:
+    def test_writes_valid_json(self, campaign_file):
+        payload = json.loads(campaign_file.read_text())
+        assert len(payload["records"]) > 0
+
+    def test_distributed_scenario(self, tmp_path, capsys):
+        path = tmp_path / "dist.json"
+        rc = main(
+            [
+                "campaign",
+                "--scenario", "distributed",
+                "--models", "resnet18",
+                "--nodes", "1", "2",
+                "-o", str(path),
+            ]
+        )
+        assert rc == 0
+        assert "nodes=[1, 2]" in capsys.readouterr().out
+
+    def test_max_seconds_flag(self, tmp_path):
+        slow = tmp_path / "all.json"
+        fast = tmp_path / "capped.json"
+        base = ["campaign", "--models", "vgg16",
+                "--device", "xeon-gold-5318y-core"]
+        main(base + ["-o", str(slow)])
+        main(base + ["--max-seconds", "5", "-o", str(fast)])
+        n_slow = len(json.loads(slow.read_text())["records"])
+        n_fast = len(json.loads(fast.read_text())["records"])
+        assert n_fast < n_slow
+
+
+class TestFitAndPredict:
+    def test_fit_forward(self, campaign_file, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        rc = main(
+            ["fit", "--data", str(campaign_file), "--kind", "forward",
+             "-o", str(model_path)]
+        )
+        assert rc == 0
+        assert "fitted forward model" in capsys.readouterr().out
+        assert model_path.exists()
+
+    def test_fit_with_exclude(self, campaign_file, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        main(
+            ["fit", "--data", str(campaign_file), "--exclude", "alexnet",
+             "-o", str(model_path)]
+        )
+        out = capsys.readouterr().out
+        # Only resnet18's records remain after exclusion.
+        assert "84 records" in out
+
+    def test_predict_inference(self, campaign_file, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        main(["fit", "--data", str(campaign_file), "-o", str(model_path)])
+        capsys.readouterr()
+        rc = main(
+            ["predict", "--model", str(model_path), "--network", "resnet50",
+             "--image", "128", "--batch", "32"]
+        )
+        assert rc == 0
+        assert "predicted inference" in capsys.readouterr().out
+
+    def test_predict_training_with_epochs(
+        self, training_campaign_file, tmp_path, capsys
+    ):
+        model_path = tmp_path / "step.json"
+        main(
+            ["fit", "--data", str(training_campaign_file), "--kind", "step",
+             "-o", str(model_path)]
+        )
+        capsys.readouterr()
+        rc = main(
+            [
+                "predict", "--model", str(model_path),
+                "--network", "resnet50", "--image", "128", "--batch", "64",
+                "--dataset-size", "50000", "--epochs", "10",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "predicted training step" in out
+        assert "predicted epoch" in out
+        assert "predicted full run" in out
+
+
+class TestReportCommand:
+    def test_block_report(self, campaign_file, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        main(["fit", "--data", str(campaign_file), "-o", str(model_path)])
+        capsys.readouterr()
+        rc = main(
+            ["report", "--model", str(model_path), "--network", "resnet18",
+             "--image", "128", "--batch", "16"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "layer1.0" in out
+        assert "bottleneck:" in out
+
+    def test_report_rejects_step_model(
+        self, training_campaign_file, tmp_path
+    ):
+        model_path = tmp_path / "step.json"
+        main(
+            ["fit", "--data", str(training_campaign_file), "--kind", "step",
+             "-o", str(model_path)]
+        )
+        with pytest.raises(SystemExit, match="forward model"):
+            main(
+                ["report", "--model", str(model_path),
+                 "--network", "resnet18"]
+            )
+
+
+class TestExperimentCommand:
+    def test_table4(self, capsys):
+        assert main(["experiment", "table4"]) == 0
+        assert "ConvMeter (ours)" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestParser:
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_device_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--device", "tpu", "-o", str(tmp_path / "x")])

@@ -1,0 +1,86 @@
+"""Coefficient interpretation and physical sanity checks."""
+
+import pytest
+
+from repro.analysis.coefficients import (
+    CoefficientInterpretation,
+    interpret_forward_model,
+    sanity_check,
+)
+from repro.core.forward import ForwardModel
+from repro.hardware.device import A100_80GB
+from tests.test_core_models import synthetic_dataset
+
+
+@pytest.fixture(scope="module")
+def fitted_model():
+    # Planted law: c1 = 2e-12 s/FLOP (0.5 TFLOP/s), c2 = 3e-11, c3 = 1e-11.
+    return ForwardModel().fit(synthetic_dataset())
+
+
+class TestInterpretation:
+    def test_recovers_planted_compute_rate(self, fitted_model):
+        interp = interpret_forward_model(fitted_model)
+        assert interp.implied_flops == pytest.approx(0.5e12, rel=0.05)
+
+    def test_recovers_planted_bandwidth(self, fitted_model):
+        # c2 + c3 = 4e-11 s/elem -> 4 bytes / 4e-11 s = 100 GB/s.
+        interp = interpret_forward_model(fitted_model)
+        assert interp.implied_bandwidth == pytest.approx(100e9, rel=0.05)
+
+    def test_fixed_overhead(self, fitted_model):
+        interp = interpret_forward_model(fitted_model)
+        assert interp.fixed_overhead == pytest.approx(1e-3, rel=0.05)
+
+    def test_fractions_with_device(self, fitted_model):
+        interp = interpret_forward_model(fitted_model, A100_80GB)
+        assert interp.flops_fraction_of_peak == pytest.approx(
+            0.5e12 / A100_80GB.peak_flops, rel=0.05
+        )
+
+    def test_fractions_absent_without_device(self, fitted_model):
+        interp = interpret_forward_model(fitted_model)
+        assert interp.flops_fraction_of_peak is None
+        assert interp.bandwidth_fraction_of_peak is None
+
+    def test_summary_text(self, fitted_model):
+        text = interpret_forward_model(fitted_model, A100_80GB).summary()
+        assert "TFLOP/s" in text and "GB/s" in text and "us" in text
+
+    def test_campaign_fit_is_physically_sane(self, small_inference_data):
+        model = ForwardModel().fit(small_inference_data)
+        interp = interpret_forward_model(model, A100_80GB)
+        assert sanity_check(interp) == []
+        # The regression must not attribute more than peak compute.
+        assert interp.flops_fraction_of_peak < 1.0
+
+
+class TestSanityCheck:
+    def test_flags_superluminal_compute(self):
+        interp = CoefficientInterpretation(
+            implied_flops=1e15,
+            implied_bandwidth=1e11,
+            fixed_overhead=1e-4,
+            flops_fraction_of_peak=50.0,
+            bandwidth_fraction_of_peak=0.1,
+        )
+        warnings = sanity_check(interp)
+        assert any("compute" in w for w in warnings)
+
+    def test_flags_negative_overhead(self):
+        interp = CoefficientInterpretation(
+            implied_flops=None,
+            implied_bandwidth=None,
+            fixed_overhead=-1e-3,
+        )
+        assert any("negative" in w for w in sanity_check(interp))
+
+    def test_clean_interpretation_passes(self):
+        interp = CoefficientInterpretation(
+            implied_flops=1e13,
+            implied_bandwidth=1e12,
+            fixed_overhead=1e-4,
+            flops_fraction_of_peak=0.5,
+            bandwidth_fraction_of_peak=0.5,
+        )
+        assert sanity_check(interp) == []

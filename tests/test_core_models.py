@@ -1,0 +1,248 @@
+"""ConvMeter performance models: forward, backward, gradient, step, epoch."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.benchdata.records import ConvNetFeatures, Dataset, TimingRecord
+from repro.core.epoch import (
+    epoch_time,
+    steps_per_epoch,
+    throughput,
+    total_training_time,
+)
+from repro.core.forward import ForwardModel
+from repro.core.training import (
+    BackwardModel,
+    CombinedBwdGradModel,
+    GradientUpdateModel,
+    StepPrediction,
+    TrainingStepModel,
+)
+
+
+def synthetic_dataset(
+    c=(2e-12, 3e-11, 1e-11, 1e-3),
+    n_models=4,
+    nodes_list=(1,),
+    seed=0,
+) -> Dataset:
+    """Records whose phase times follow exact ConvMeter-style laws, so fits
+    must recover them."""
+    rng = np.random.default_rng(seed)
+    data = Dataset()
+    for mi in range(n_models):
+        features = ConvNetFeatures(
+            flops=float(rng.uniform(1e8, 5e9)),
+            inputs=float(rng.uniform(1e5, 5e6)),
+            outputs=float(rng.uniform(1e5, 5e6)),
+            weights=float(rng.uniform(1e6, 5e7)),
+            layers=int(rng.integers(10, 200)),
+        )
+        for nodes in nodes_list:
+            devices = nodes * 4 if nodes > 1 or len(nodes_list) > 1 else 1
+            devices = max(1, devices)
+            for batch in (1, 4, 16, 64):
+                lin = (
+                    c[0] * features.flops
+                    + c[1] * features.inputs
+                    + c[2] * features.outputs
+                )
+                t_fwd = batch * lin + c[3]
+                t_bwd = 2.0 * batch * lin + c[3]
+                t_grad = 1e-5 * features.layers + (
+                    (2e-9 * features.weights + 1e-4 * devices)
+                    if nodes > 1
+                    else 0.0
+                ) + 1e-4
+                data.append(
+                    TimingRecord(
+                        model=f"model{mi}",
+                        device="sim",
+                        image_size=64,
+                        batch=batch,
+                        nodes=nodes,
+                        devices=devices,
+                        scenario="training",
+                        features=features,
+                        t_fwd=t_fwd,
+                        t_bwd=t_bwd,
+                        t_grad=t_grad,
+                    )
+                )
+    return data
+
+
+class TestForwardModel:
+    def test_recovers_exact_law(self):
+        data = synthetic_dataset()
+        model = ForwardModel().fit(data)
+        pred = model.predict(data)
+        measured = np.array([r.t_fwd for r in data])
+        np.testing.assert_allclose(pred, measured, rtol=1e-6)
+
+    def test_predict_one_matches_vectorised(self):
+        data = synthetic_dataset()
+        model = ForwardModel().fit(data)
+        r = data[5]
+        assert model.predict_one(r.features, r.batch) == pytest.approx(
+            float(model.predict([r])[0])
+        )
+
+    def test_prediction_affine_in_batch(self):
+        data = synthetic_dataset()
+        model = ForwardModel().fit(data)
+        f = data[0].features
+        t1, t2, t3 = (model.predict_one(f, b) for b in (10, 20, 30))
+        assert t3 - t2 == pytest.approx(t2 - t1, rel=1e-9)
+
+    def test_evaluate_perfect_on_exact_data(self):
+        data = synthetic_dataset()
+        metrics = ForwardModel().fit(data).evaluate(data)
+        assert metrics.r2 > 0.999999
+        assert metrics.mape < 1e-5
+
+    def test_metric_subset_has_fewer_coefficients(self):
+        data = synthetic_dataset()
+        model = ForwardModel(metric_names=("flops",)).fit(data)
+        assert len(model.coefficients()) == 2
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            ForwardModel().fit(Dataset())
+
+    def test_coefficients_named(self):
+        model = ForwardModel().fit(synthetic_dataset())
+        assert set(model.coefficients()) == {
+            "b*flops", "b*inputs", "b*outputs", "intercept",
+        }
+
+    def test_backward_model_uses_bwd_phase(self):
+        data = synthetic_dataset()
+        model = BackwardModel().fit(data)
+        measured = np.array([r.t_bwd for r in data])
+        np.testing.assert_allclose(model.predict(data), measured, rtol=1e-6)
+
+
+class TestGradientUpdateModel:
+    def test_single_node_recovers_layer_law(self):
+        data = synthetic_dataset(nodes_list=(1,))
+        model = GradientUpdateModel(multi_node=False).fit(data)
+        measured = np.array([r.t_grad for r in data])
+        np.testing.assert_allclose(model.predict(data), measured, rtol=1e-6)
+        coeffs = model.coefficients()
+        assert coeffs["layers"] == pytest.approx(1e-5, rel=1e-3)
+
+    def test_multi_node_recovers_full_law(self):
+        data = synthetic_dataset(nodes_list=(2, 4, 8), n_models=5)
+        model = GradientUpdateModel(multi_node=True).fit(data)
+        coeffs = model.coefficients()
+        assert coeffs["weights"] == pytest.approx(2e-9, rel=1e-3)
+        assert coeffs["devices"] == pytest.approx(1e-4, rel=1e-3)
+
+    def test_predict_one(self):
+        data = synthetic_dataset(nodes_list=(2, 4), n_models=5)
+        model = GradientUpdateModel(multi_node=True).fit(data)
+        f = data[0].features
+        expected = 1e-5 * f.layers + 2e-9 * f.weights + 1e-4 * 16 + 1e-4
+        assert model.predict_one(f, devices=16) == pytest.approx(
+            expected, rel=1e-4
+        )
+
+    def test_evaluate(self):
+        data = synthetic_dataset(nodes_list=(1,))
+        metrics = GradientUpdateModel(multi_node=False).fit(data).evaluate(data)
+        assert metrics.mape < 1e-5
+
+
+class TestCombinedBwdGradModel:
+    def test_piecewise_branches_fit_independently(self):
+        data = synthetic_dataset(nodes_list=(1, 2, 4), n_models=5)
+        model = CombinedBwdGradModel().fit(data)
+        measured = np.array([r.t_bwd + r.t_grad for r in data])
+        np.testing.assert_allclose(model.predict(data), measured, rtol=1e-5)
+
+    def test_single_only_dataset_cannot_predict_multi(self):
+        model = CombinedBwdGradModel().fit(synthetic_dataset(nodes_list=(1,)))
+        f = synthetic_dataset()[0].features
+        with pytest.raises(RuntimeError, match="multi-node"):
+            model.predict_one(f, 4, devices=8, nodes=2)
+
+    def test_multi_only_dataset_cannot_predict_single(self):
+        model = CombinedBwdGradModel().fit(
+            synthetic_dataset(nodes_list=(2, 4), n_models=5)
+        )
+        f = synthetic_dataset()[0].features
+        with pytest.raises(RuntimeError, match="single-node"):
+            model.predict_one(f, 4, devices=1, nodes=1)
+
+    def test_coefficient_groups(self):
+        model = CombinedBwdGradModel().fit(
+            synthetic_dataset(nodes_list=(1, 2), n_models=5)
+        )
+        coeffs = model.coefficients()
+        assert set(coeffs) == {"single_node", "multi_node"}
+        assert "devices" in coeffs["multi_node"]
+        assert "devices" not in coeffs["single_node"]
+
+
+class TestTrainingStepModel:
+    def test_step_is_sum_of_parts(self):
+        data = synthetic_dataset(nodes_list=(1, 2), n_models=5)
+        model = TrainingStepModel().fit(data)
+        r = data[3]
+        pred = model.predict_one(r.features, r.batch, r.devices, r.nodes)
+        assert pred.total == pytest.approx(
+            pred.forward + pred.backward_plus_update
+        )
+
+    def test_recovers_exact_totals(self):
+        data = synthetic_dataset(nodes_list=(1, 2, 4), n_models=5)
+        model = TrainingStepModel().fit(data)
+        measured = np.array([r.t_total for r in data])
+        np.testing.assert_allclose(model.predict(data), measured, rtol=1e-5)
+
+    def test_evaluate_phase_selector(self):
+        data = synthetic_dataset()
+        model = TrainingStepModel().fit(data)
+        assert model.evaluate_phase(data, "fwd").mape < 1e-5
+        assert model.evaluate_phase(data, "bwd+grad").mape < 1e-4
+        with pytest.raises(KeyError):
+            model.evaluate_phase(data, "gradients")
+
+    def test_step_prediction_dataclass(self):
+        p = StepPrediction(forward=0.5, backward_plus_update=1.5)
+        assert p.total == 2.0
+
+
+class TestEpochArithmetic:
+    def test_steps_per_epoch(self):
+        assert steps_per_epoch(50_000, 128, 1) == math.ceil(50_000 / 128)
+        assert steps_per_epoch(50_000, 64, 8) == math.ceil(50_000 / 512)
+
+    def test_epoch_time(self):
+        assert epoch_time(0.1, 1000, 100, 1) == pytest.approx(1.0)
+
+    def test_epoch_time_scales_down_with_devices(self):
+        single = epoch_time(0.1, 10_000, 64, 1)
+        multi = epoch_time(0.1, 10_000, 64, 8)
+        assert multi < single
+
+    def test_total_training_time(self):
+        assert total_training_time(0.1, 1000, 100, epochs=5) == (
+            pytest.approx(5.0)
+        )
+
+    def test_throughput(self):
+        assert throughput(0.05, 64, 4) == pytest.approx(5120.0)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            steps_per_epoch(0, 1, 1)
+        with pytest.raises(ValueError):
+            epoch_time(-1.0, 10, 1)
+        with pytest.raises(ValueError):
+            total_training_time(0.1, 10, 1, epochs=0)
+        with pytest.raises(ValueError):
+            throughput(0.0, 1)

@@ -1,0 +1,134 @@
+"""Unit tests for experiment helper structures, on synthetic curves (the
+full experiments are exercised in test_experiments.py)."""
+
+import pytest
+
+from repro.core.scalability import ScalingPoint
+from repro.experiments.fig8 import Fig8Result, ModelScalingCurve
+from repro.experiments.fig9 import BatchScalingCurve, Fig9Result
+from repro.experiments.fig2 import Fig2Result
+from repro.experiments.fig6 import Fig6Result, Fig6Row
+from repro.core.metrics import EvalMetrics
+
+
+def _point(x, thr, meas=None, std=None, devices=None, batch=64):
+    return ScalingPoint(
+        x=x,
+        devices=devices if devices is not None else 4 * x,
+        per_device_batch=batch,
+        step_time=batch * (devices or 4 * x) / thr,
+        throughput=thr,
+        measured=meas,
+        measured_std=std,
+    )
+
+
+class TestFig8Structures:
+    def _curve(self, name, throughputs, measured):
+        points = tuple(
+            _point(x, t, m, 1.0)
+            for x, t, m in zip((1, 2, 4, 8), throughputs, measured)
+        )
+        return ModelScalingCurve(model=name, points=points)
+
+    def test_speedup(self):
+        curve = self._curve("m", [100, 200, 400, 800], [100, 190, 380, 760])
+        assert curve.speedup() == pytest.approx(8.0)
+
+    def test_trend_agreement_perfect(self):
+        curve = self._curve("m", [100, 200, 400, 800], [110, 220, 440, 880])
+        result = Fig8Result(curves={"m": curve}, node_counts=(1, 2, 4, 8))
+        assert result.trend_agreement("m") == pytest.approx(1.0)
+
+    def test_trend_agreement_anticorrelated(self):
+        curve = self._curve("m", [100, 200, 400, 800], [800, 400, 200, 100])
+        result = Fig8Result(curves={"m": curve}, node_counts=(1, 2, 4, 8))
+        assert result.trend_agreement("m") < 0
+
+    def test_render_contains_series(self):
+        curve = self._curve("alexnet", [1, 2, 3, 4], [1, 2, 3, 4])
+        result = Fig8Result(
+            curves={"alexnet": curve}, node_counts=(1, 2, 4, 8)
+        )
+        text = result.render()
+        assert "AlexNet" in text and "predicted_img_s" in text
+
+
+class TestFig9Structures:
+    def _curve(self, throughputs, batches):
+        points = tuple(
+            _point(b, t, devices=1, batch=b)
+            for b, t in zip(batches, throughputs)
+        )
+        return BatchScalingCurve(model="m", points=points)
+
+    def test_saturation_batch(self):
+        batches = (1, 4, 16, 64, 256)
+        curve = self._curve((100, 350, 700, 850, 900), batches)
+        # 80% of 900 = 720, first reached at batch 64.
+        assert curve.saturation_batch(0.8) == 64
+
+    def test_saturation_batch_never_reached_returns_last(self):
+        batches = (1, 4, 16)
+        curve = self._curve((100, 120, 130), batches)
+        assert curve.saturation_batch(0.999) == 16
+
+    def test_measured_lists(self):
+        batches = (1, 4)
+        points = (
+            _point(1, 10.0, 9.0, devices=1, batch=1),
+            _point(4, 20.0, None, devices=1, batch=4),
+        )
+        curve = BatchScalingCurve(model="resnet18", points=points)
+        assert curve.measured == [9.0, None]
+        result = Fig9Result(curves={"resnet18": curve}, batches=batches)
+        assert "nan" in result.render()
+
+
+class TestFig2Structure:
+    def _metrics(self, r2, mape):
+        return EvalMetrics(r2=r2, rmse=0.1, nrmse=0.1, mape=mape, n=10)
+
+    def test_combined_wins_logic(self):
+        result = Fig2Result(
+            variants={
+                "flops": self._metrics(0.9, 0.3),
+                "inputs": self._metrics(0.5, 0.6),
+                "outputs": self._metrics(0.5, 0.6),
+                "combined": self._metrics(0.99, 0.1),
+            }
+        )
+        assert result.combined_wins
+
+    def test_combined_loses_on_mape(self):
+        result = Fig2Result(
+            variants={
+                "flops": self._metrics(0.9, 0.05),
+                "inputs": self._metrics(0.5, 0.6),
+                "outputs": self._metrics(0.5, 0.6),
+                "combined": self._metrics(0.99, 0.1),
+            }
+        )
+        assert not result.combined_wins
+
+
+class TestFig6Structure:
+    def test_wins_everywhere_ignores_unparseable(self):
+        rows = (
+            Fig6Row("a", 0.1, 0.1, 0.2, 0.2),
+            Fig6Row("squeezenet1_0", 0.1, 0.1, None, None),
+        )
+        result = Fig6Result(rows_data=rows)
+        assert result.convmeter_wins_everywhere
+        assert result.unparseable_models == ["squeezenet1_0"]
+
+    def test_single_loss_breaks_sweep(self):
+        rows = (
+            Fig6Row("a", 0.3, 0.1, 0.2, 0.2),
+        )
+        assert not Fig6Result(rows_data=rows).convmeter_wins_everywhere
+
+    def test_row_win_flag(self):
+        assert Fig6Row("a", 0.1, 0.1, 0.2, 0.2).convmeter_wins is True
+        assert Fig6Row("a", 0.3, 0.1, 0.2, 0.2).convmeter_wins is False
+        assert Fig6Row("a", 0.3, 0.1, None, None).convmeter_wins is None

@@ -1,0 +1,153 @@
+"""Failure injection: corrupted inputs and misuse must fail loudly and
+legibly, never silently produce garbage."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.benchdata import Dataset, inference_campaign
+from repro.benchdata.records import ConvNetFeatures, TimingRecord
+from repro.core.forward import ForwardModel
+from repro.core.loo import leave_one_out
+from repro.core.metrics import evaluate_predictions
+from repro.core.persistence import load_model
+from repro.core.regression import LinearModel
+from repro.core.training import TrainingStepModel
+from repro.graph.builder import GraphBuilder
+
+
+def _record(model="m", t_fwd=0.01, **kw) -> TimingRecord:
+    defaults = dict(
+        model=model,
+        device="d",
+        image_size=64,
+        batch=4,
+        nodes=1,
+        devices=1,
+        scenario="inference",
+        features=ConvNetFeatures(1e9, 1e6, 2e6, 5e6, 50),
+        t_fwd=t_fwd,
+    )
+    defaults.update(kw)
+    return TimingRecord(**defaults)
+
+
+class TestCorruptedData:
+    def test_truncated_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"records": [{"model": "x"')
+        with pytest.raises(json.JSONDecodeError):
+            Dataset.from_json(path)
+
+    def test_schema_mismatch_raises(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text(json.dumps({"records": [{"model": "x"}]}))
+        with pytest.raises(ValueError, match="malformed timing record"):
+            Dataset.from_json(path)
+
+    def test_corrupted_model_file_raises(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text(json.dumps({"format": 1, "kind": "nonsense"}))
+        with pytest.raises(ValueError, match="unknown model kind"):
+            load_model(path)
+
+    def test_zero_time_record_breaks_relative_fit_loudly(self):
+        data = Dataset([_record(t_fwd=0.0), _record(t_fwd=0.01),
+                        _record(t_fwd=0.02), _record(t_fwd=0.03),
+                        _record(t_fwd=0.05)])
+        with pytest.raises(ValueError, match="positive"):
+            ForwardModel().fit(data)
+
+    def test_nan_measurement_rejected_by_metrics(self):
+        measured = np.array([1.0, np.nan])
+        metrics = evaluate_predictions(measured, np.array([1.0, 1.0]))
+        # NaNs must be visible in the result, not silently averaged away.
+        assert np.isnan(metrics.rmse) or np.isnan(metrics.mape)
+
+
+class TestDegenerateFits:
+    def test_single_record_fit_rejected(self):
+        data = Dataset([_record()])
+        with pytest.raises(ValueError, match="underdetermined"):
+            ForwardModel().fit(data)
+
+    def test_constant_feature_column_survives(self):
+        # All records share one batch/image: columns are collinear; the
+        # solver must still return finite coefficients.
+        records = [
+            _record(model=f"m{i}",
+                    features=ConvNetFeatures(1e9 * (i + 1), 1e6 * (i + 1),
+                                             2e6 * (i + 1), 1e6, 10),
+                    t_fwd=0.01 * (i + 1))
+            for i in range(6)
+        ]
+        model = ForwardModel().fit(Dataset(records))
+        assert np.all(np.isfinite(model.model.coef))
+
+    def test_loo_with_one_model_rejected(self):
+        data = Dataset([_record(), _record(t_fwd=0.02)])
+        with pytest.raises(ValueError, match="two distinct"):
+            leave_one_out(data, lambda: ForwardModel(), lambda r: r.t_fwd)
+
+    def test_step_model_single_node_only_cannot_extrapolate_nodes(self):
+        records = [
+            _record(model=f"m{i}", scenario="training", t_bwd=0.02,
+                    t_grad=0.001,
+                    features=ConvNetFeatures(1e9 * (i + 1), 1e6, 2e6,
+                                             1e6, 10),
+                    t_fwd=0.01 * (i + 1))
+            for i in range(8)
+        ]
+        model = TrainingStepModel().fit(Dataset(records))
+        f = records[0].features
+        with pytest.raises(RuntimeError, match="multi-node"):
+            model.predict_one(f, 4, devices=8, nodes=2)
+
+
+class TestGraphMisuse:
+    def test_cycle_impossible_by_construction(self):
+        # The builder only references existing nodes, so cycles cannot be
+        # expressed; referencing a future node fails immediately.
+        b = GraphBuilder("g")
+        b.input(3, 8, 8)
+        with pytest.raises(KeyError):
+            b.relu("not_yet_created")
+
+    def test_shape_mismatch_fails_at_build_not_run(self):
+        b = GraphBuilder("g")
+        x = b.input(3, 8, 8)
+        y = b.conv(x, 4, kernel_size=3, padding=1)
+        z = b.conv(x, 4, kernel_size=3, stride=2, padding=1)
+        with pytest.raises(ValueError, match="differ in shape"):
+            b.add(y, z)
+
+    def test_oversized_stride_fails_cleanly(self):
+        b = GraphBuilder("g")
+        x = b.input(3, 4, 4)
+        with pytest.raises(ValueError, match="does not fit"):
+            b.conv(x, 8, kernel_size=7)
+
+
+class TestCampaignEdgeCases:
+    def test_empty_model_list_gives_empty_dataset(self):
+        data = inference_campaign(models=(), seed=1)
+        assert len(data) == 0
+
+    def test_fit_on_empty_campaign_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ForwardModel().fit(inference_campaign(models=(), seed=1))
+
+    def test_impossible_image_sizes_give_empty(self):
+        data = inference_campaign(
+            models=("inception_v3",), image_sizes=(32, 64), seed=1
+        )
+        assert len(data) == 0
+
+    def test_sample_weight_negative_rejected(self):
+        X = np.ones((3, 1))
+        y = np.ones(3)
+        with pytest.raises(ValueError, match="non-negative"):
+            LinearModel(weighting="none").fit(
+                X, y, sample_weight=np.array([1.0, -1.0, 1.0])
+            )

@@ -1,0 +1,77 @@
+"""Hierarchical all-reduce: cost model and trainer integration."""
+
+import pytest
+
+from repro.distributed import ClusterSpec, DistributedTrainer
+from repro.distributed.allreduce import (
+    hierarchical_all_reduce_time,
+    ring_all_reduce_time,
+)
+from repro.distributed.interconnect import IB_HDR200_X4, NVLINK3
+from repro.hardware.roofline import zoo_profile
+
+
+class TestHierarchicalCost:
+    def test_single_rank_free(self):
+        assert hierarchical_all_reduce_time(1e8, 1, 1, NVLINK3,
+                                            IB_HDR200_X4) == 0.0
+
+    def test_single_node_uses_only_intra(self):
+        t = hierarchical_all_reduce_time(1e8, 1, 4, NVLINK3, IB_HDR200_X4)
+        # Two intra phases, no inter term: well below any IB transfer.
+        assert t < 1e8 / IB_HDR200_X4.bandwidth
+
+    def test_beats_flat_ring_across_nodes(self):
+        """With 4 GPUs per node, only 1/4 of the payload crosses the slow
+        fabric per leader — hierarchical must beat the flat ring."""
+        nbytes, nodes, g = 1e8, 4, 4
+        flat = ring_all_reduce_time(nbytes, nodes * g, IB_HDR200_X4)
+        hier = hierarchical_all_reduce_time(nbytes, nodes, g, NVLINK3,
+                                            IB_HDR200_X4)
+        assert hier < flat
+
+    def test_latency_advantage_for_small_payloads(self):
+        nbytes, nodes, g = 1e4, 8, 4
+        flat = ring_all_reduce_time(nbytes, nodes * g, IB_HDR200_X4)
+        hier = hierarchical_all_reduce_time(nbytes, nodes, g, NVLINK3,
+                                            IB_HDR200_X4)
+        # Flat pays 2*(32-1) IB latencies; hierarchical only 2*(8-1).
+        assert hier < 0.5 * flat
+
+    def test_degenerate_one_gpu_per_node_equals_ring(self):
+        nbytes, nodes = 1e8, 8
+        hier = hierarchical_all_reduce_time(nbytes, nodes, 1, NVLINK3,
+                                            IB_HDR200_X4)
+        flat = ring_all_reduce_time(nbytes, nodes, IB_HDR200_X4)
+        assert hier == pytest.approx(flat)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            hierarchical_all_reduce_time(1e8, 0, 4, NVLINK3, IB_HDR200_X4)
+
+
+class TestTrainerAlgorithmChoice:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="algorithm"):
+            DistributedTrainer(ClusterSpec(nodes=2), algorithm="tree")
+
+    def test_hierarchical_speeds_up_comm_bound_model(self):
+        profile = zoo_profile("alexnet", 128)
+        cluster = ClusterSpec(nodes=4)
+        ring = DistributedTrainer(cluster, seed=5, algorithm="ring")
+        hier = DistributedTrainer(cluster, seed=5, algorithm="hierarchical")
+        g_ring = ring.measure_step(profile, 64).grad_update
+        g_hier = hier.measure_step(profile, 64).grad_update
+        assert g_hier < g_ring
+
+    def test_algorithms_agree_on_single_device(self):
+        from repro.distributed.cluster import single_gpu_cluster
+
+        profile = zoo_profile("resnet18", 64)
+        a = DistributedTrainer(
+            single_gpu_cluster(), seed=5, algorithm="ring"
+        ).measure_step(profile, 16)
+        b = DistributedTrainer(
+            single_gpu_cluster(), seed=5, algorithm="hierarchical"
+        ).measure_step(profile, 16)
+        assert a == b

@@ -1,0 +1,190 @@
+"""End-to-end integration: the workflows a downstream user would run."""
+
+import numpy as np
+import pytest
+
+from repro.benchdata import Dataset, inference_campaign, training_campaign
+from repro.benchdata.records import ConvNetFeatures
+from repro.core import (
+    ForwardModel,
+    TrainingStepModel,
+    epoch_time,
+    leave_one_out,
+    node_scaling_curve,
+    throughput,
+)
+from repro.distributed import ClusterSpec, DistributedTrainer
+from repro.hardware import A100_80GB, SimulatedExecutor
+from repro.hardware.roofline import zoo_profile
+
+
+class TestPredictUnseenModel:
+    """The paper's headline workflow: benchmark a model pool once, then
+    predict a network the model has never seen."""
+
+    def test_inference_prediction_for_unseen_model(self, small_inference_data):
+        model = ForwardModel().fit(small_inference_data)
+        # densenet121 is not in the small campaign pool.
+        assert "densenet121" not in small_inference_data.models()
+        profile = zoo_profile("densenet121", 128)
+        features = ConvNetFeatures.from_profile(profile)
+        executor = SimulatedExecutor(A100_80GB, seed=77)
+        for batch in (8, 64):
+            measured = executor.measure_inference(profile, batch)
+            predicted = model.predict_one(features, batch)
+            assert abs(predicted - measured) / measured < 0.6
+
+    def test_training_prediction_for_unseen_model(self, small_training_data):
+        step = TrainingStepModel().fit(small_training_data)
+        profile = zoo_profile("efficientnet_b0", 128)
+        features = ConvNetFeatures.from_profile(profile)
+        executor = SimulatedExecutor(A100_80GB, seed=78)
+        measured = executor.measure_training_step(profile, 64).total
+        predicted = step.predict_one(features, 64).total
+        assert abs(predicted - measured) / measured < 0.5
+
+
+class TestDatasetPersistence:
+    def test_fit_from_reloaded_dataset(self, tmp_path, small_inference_data):
+        path = tmp_path / "campaign.json"
+        small_inference_data.to_json(path)
+        reloaded = Dataset.from_json(path)
+        a = ForwardModel().fit(small_inference_data)
+        b = ForwardModel().fit(reloaded)
+        np.testing.assert_allclose(a.model.coef, b.model.coef)
+
+
+class TestEpochPlanning:
+    """Infrastructure planning: epoch time from a predicted step time."""
+
+    def test_imagenet_epoch_estimate(self, small_training_data):
+        step = TrainingStepModel().fit(small_training_data)
+        features = ConvNetFeatures.from_profile(zoo_profile("resnet50", 224))
+        t_iter = step.predict_one(features, 256).total
+        t_epoch = epoch_time(t_iter, dataset_size=1_281_167, batch=256)
+        # One A100, batch 256: a plausible ImageNet epoch is minutes-hours.
+        assert 60.0 < t_epoch < 24 * 3600.0
+
+    def test_more_devices_shorter_epoch(self, small_distributed_data):
+        step = TrainingStepModel().fit(small_distributed_data)
+        features = ConvNetFeatures.from_profile(zoo_profile("resnet50", 128))
+        t4 = step.predict_one(features, 64, devices=4, nodes=1).total
+        t16 = step.predict_one(features, 64, devices=16, nodes=4).total
+        e4 = epoch_time(t4, 1_281_167, 64, devices=4)
+        e16 = epoch_time(t16, 1_281_167, 64, devices=16)
+        assert e16 < e4
+
+
+class TestScalabilityAgainstSimulator:
+    """Predicted node-scaling curves must track fresh simulator runs."""
+
+    def test_curve_tracks_simulation(self, small_distributed_data):
+        step = TrainingStepModel().fit(small_distributed_data)
+        features = ConvNetFeatures.from_profile(zoo_profile("resnet50", 128))
+        profile = zoo_profile("resnet50", 128)
+        curve = node_scaling_curve(step, features, 64, (1, 2, 4))
+        for point in curve:
+            cluster = ClusterSpec(nodes=point.x, gpus_per_node=4)
+            trainer = DistributedTrainer(cluster, seed=1234)
+            measured = trainer.measure_step(profile, 64).total
+            measured_thr = throughput(measured, 64, point.devices)
+            assert abs(point.throughput - measured_thr) / measured_thr < 0.4
+
+
+class TestEpochFormulaEndToEnd:
+    """Section 2's epoch formula against a simulated epoch: predicting one
+    step and multiplying must match accumulating every step's time."""
+
+    def test_predicted_epoch_matches_accumulated_steps(
+        self, small_training_data
+    ):
+        from repro.core.epoch import steps_per_epoch
+
+        model = TrainingStepModel().fit(small_training_data)
+        profile = zoo_profile("resnet18", 128)
+        features = ConvNetFeatures.from_profile(profile)
+        batch, dataset_size = 64, 12_800
+        executor = SimulatedExecutor(A100_80GB, seed=202)
+
+        # "Measure" every step of one epoch in the simulator.
+        n_steps = steps_per_epoch(dataset_size, batch)
+        accumulated = sum(
+            executor.measure_training_step(profile, batch, rep=step).total
+            for step in range(n_steps)
+        )
+        predicted = epoch_time(
+            model.predict_one(features, batch).total, dataset_size, batch
+        )
+        assert abs(predicted - accumulated) / accumulated < 0.25
+
+    def test_epoch_scales_inversely_with_batch(self, small_training_data):
+        model = TrainingStepModel().fit(small_training_data)
+        features = ConvNetFeatures.from_profile(zoo_profile("resnet18", 128))
+
+        def epoch(batch):
+            return epoch_time(
+                model.predict_one(features, batch).total, 1_000_000, batch
+            )
+
+        # Bigger batches amortise fixed costs: fewer, relatively cheaper steps.
+        assert epoch(256) < epoch(16) < epoch(1)
+
+
+class TestSameCoefficientsAcrossModels:
+    """Section 4.1: one coefficient set per device serves every ConvNet."""
+
+    def test_single_fit_reasonable_for_all_pool_models(
+        self, small_inference_data
+    ):
+        model = ForwardModel().fit(small_inference_data)
+        for name in small_inference_data.models():
+            metrics = model.evaluate(small_inference_data.for_model(name))
+            assert metrics.mape < 0.6, name
+
+    def test_loo_close_to_shared_fit(self, small_inference_data):
+        shared = ForwardModel().fit(small_inference_data).evaluate(
+            small_inference_data
+        )
+        loo = leave_one_out(
+            small_inference_data, lambda: ForwardModel(), lambda r: r.t_fwd
+        )
+        # Generalisation gap exists but is bounded.
+        assert loo.pooled.mape < 3.0 * max(shared.mape, 0.05)
+
+
+class TestCrossDeviceCoefficients:
+    """Section 3: the model form is shared, the coefficients are per-device."""
+
+    def test_cpu_and_gpu_coefficients_differ(self):
+        cpu_data = inference_campaign(
+            models=("alexnet", "resnet18", "resnet50"),
+            device=__import__(
+                "repro.hardware.device", fromlist=["XEON_GOLD_5318Y_CORE"]
+            ).XEON_GOLD_5318Y_CORE,
+            batch_sizes=(1, 8, 32),
+            image_sizes=(64, 128),
+            seed=31,
+        )
+        gpu_data = inference_campaign(
+            models=("alexnet", "resnet18", "resnet50"),
+            batch_sizes=(1, 8, 32),
+            image_sizes=(64, 128),
+            seed=31,
+        )
+        cpu_coef = ForwardModel().fit(cpu_data).coefficients()
+        gpu_coef = ForwardModel().fit(gpu_data).coefficients()
+        # The CPU's seconds-per-FLOP coefficient is far larger.
+        assert cpu_coef["b*flops"] > 20 * gpu_coef["b*flops"]
+
+    def test_cross_device_prediction_fails(self):
+        """Coefficients are not transferable across platforms — using GPU
+        coefficients on CPU measurements must be wildly wrong."""
+        from repro.hardware.device import XEON_GOLD_5318Y_CORE
+
+        models = ("alexnet", "resnet18", "resnet50")
+        kw = dict(models=models, batch_sizes=(1, 8, 32),
+                  image_sizes=(64, 128), seed=31)
+        gpu_model = ForwardModel().fit(inference_campaign(**kw))
+        cpu_data = inference_campaign(device=XEON_GOLD_5318Y_CORE, **kw)
+        metrics = gpu_model.evaluate(cpu_data)
+        assert metrics.mape > 0.9

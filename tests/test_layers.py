@@ -1,0 +1,229 @@
+"""Unit tests for the layer taxonomy: shape inference, params, FLOPs."""
+
+import pytest
+
+from repro.graph.layers import (
+    Activation,
+    AdaptiveAvgPool2d,
+    Add,
+    AvgPool2d,
+    BatchNorm2d,
+    Concat,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Input,
+    Linear,
+    LocalResponseNorm,
+    MaxPool2d,
+    Multiply,
+    ZeroPad2d,
+)
+from repro.graph.tensor import TensorShape
+
+S = TensorShape
+
+
+class TestConv2d:
+    def test_shape(self):
+        conv = Conv2d(3, 16, kernel_size=3, stride=1, padding=1)
+        assert conv.infer_shape([S(3, 32, 32)]) == S(16, 32, 32)
+
+    def test_strided_shape(self):
+        conv = Conv2d(3, 64, kernel_size=7, stride=2, padding=3)
+        assert conv.infer_shape([S(3, 224, 224)]) == S(64, 112, 112)
+
+    def test_asymmetric_kernel(self):
+        conv = Conv2d(8, 8, kernel_size=(1, 7), padding=(0, 3))
+        assert conv.infer_shape([S(8, 17, 17)]) == S(8, 17, 17)
+
+    def test_param_count_with_bias(self):
+        conv = Conv2d(3, 16, kernel_size=3)
+        assert conv.param_count() == 16 * 3 * 9 + 16
+
+    def test_param_count_grouped(self):
+        conv = Conv2d(32, 32, kernel_size=3, groups=32, bias=False)
+        assert conv.param_count() == 32 * 1 * 9
+
+    def test_flops_counts_two_per_mac(self):
+        conv = Conv2d(3, 16, kernel_size=3, padding=1, bias=False)
+        out = conv.infer_shape([S(3, 8, 8)])
+        macs = 8 * 8 * 16 * 3 * 9
+        assert conv.flops([S(3, 8, 8)], out) == 2 * macs
+
+    def test_flops_bias_adds(self):
+        no_bias = Conv2d(3, 4, kernel_size=1, bias=False)
+        with_bias = Conv2d(3, 4, kernel_size=1, bias=True)
+        shape = S(3, 5, 5)
+        out = no_bias.infer_shape([shape])
+        assert (
+            with_bias.flops([shape], out) - no_bias.flops([shape], out)
+            == out.numel
+        )
+
+    def test_depthwise_detection(self):
+        assert Conv2d(32, 32, groups=32).is_depthwise
+        assert not Conv2d(32, 32, groups=4).is_depthwise
+        assert not Conv2d(32, 32).is_depthwise
+
+    def test_channel_mismatch_raises(self):
+        conv = Conv2d(3, 8)
+        with pytest.raises(ValueError, match="channels"):
+            conv.infer_shape([S(4, 8, 8)])
+
+    def test_invalid_groups_raises(self):
+        with pytest.raises(ValueError):
+            Conv2d(6, 8, groups=4)
+
+    def test_flat_input_raises(self):
+        with pytest.raises(ValueError, match="spatial"):
+            Conv2d(3, 8).infer_shape([S(3)])
+
+    def test_is_conv_flag(self):
+        assert Conv2d(3, 8).is_conv
+        assert not Linear(3, 8).is_conv
+
+
+class TestBatchNorm:
+    def test_preserves_shape(self):
+        bn = BatchNorm2d(16)
+        assert bn.infer_shape([S(16, 8, 8)]) == S(16, 8, 8)
+
+    def test_params_scale_and_shift(self):
+        assert BatchNorm2d(32).param_count() == 64
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            BatchNorm2d(16).infer_shape([S(8, 4, 4)])
+
+
+class TestActivation:
+    def test_identity_shape(self):
+        assert Activation("relu").infer_shape([S(4, 3, 3)]) == S(4, 3, 3)
+
+    def test_cheap_vs_transcendental_cost(self):
+        shape = S(4, 3, 3)
+        cheap = Activation("relu").flops([shape], shape)
+        costly = Activation("sigmoid").flops([shape], shape)
+        assert costly > cheap
+
+    def test_no_params(self):
+        assert Activation("silu").param_count() == 0
+
+
+class TestPooling:
+    def test_maxpool_shape(self):
+        pool = MaxPool2d(3, stride=2)
+        assert pool.infer_shape([S(64, 56, 56)]) == S(64, 27, 27)
+
+    def test_default_stride_equals_kernel(self):
+        pool = AvgPool2d(2)
+        assert pool.infer_shape([S(8, 8, 8)]) == S(8, 4, 4)
+
+    def test_ceil_mode(self):
+        pool = MaxPool2d(3, stride=2, ceil_mode=True)
+        # 110 -> ceil((110-3)/2)+1 = 55 (floor mode would give 54).
+        assert pool.infer_shape([S(96, 110, 110)]) == S(96, 55, 55)
+
+    def test_adaptive_any_input(self):
+        pool = AdaptiveAvgPool2d(7)
+        assert pool.infer_shape([S(512, 13, 13)]) == S(512, 7, 7)
+        assert pool.infer_shape([S(512, 3, 3)]) == S(512, 7, 7)
+
+    def test_global_avgpool(self):
+        assert GlobalAvgPool2d().infer_shape([S(64, 14, 14)]) == S(64, 1, 1)
+
+    def test_pool_flops_proportional_to_window(self):
+        shape = S(8, 8, 8)
+        small = MaxPool2d(2).flops([shape], MaxPool2d(2).infer_shape([shape]))
+        # Same output size with a bigger window costs more.
+        big = MaxPool2d(4, stride=2, padding=1)
+        big_out = big.infer_shape([shape])
+        assert big.flops([shape], big_out) > small
+
+
+class TestLinearAndFlatten:
+    def test_linear_shape(self):
+        assert Linear(512, 1000).infer_shape([S(512)]) == S(1000)
+
+    def test_linear_params(self):
+        assert Linear(512, 1000).param_count() == 512 * 1000 + 1000
+
+    def test_linear_rejects_spatial(self):
+        with pytest.raises(ValueError, match="Flatten"):
+            Linear(512, 10).infer_shape([S(512, 1, 1)])
+
+    def test_linear_feature_mismatch(self):
+        with pytest.raises(ValueError):
+            Linear(512, 10).infer_shape([S(256)])
+
+    def test_flatten(self):
+        assert Flatten().infer_shape([S(64, 7, 7)]) == S(64 * 49)
+
+    def test_linear_flops(self):
+        lin = Linear(10, 5, bias=False)
+        assert lin.flops([S(10)], S(5)) == 2 * 50
+
+
+class TestJoins:
+    def test_add_shape(self):
+        assert Add().infer_shape([S(8, 4, 4), S(8, 4, 4)]) == S(8, 4, 4)
+
+    def test_add_three_way(self):
+        shape = S(8, 4, 4)
+        assert Add().infer_shape([shape, shape, shape]) == shape
+
+    def test_add_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Add().infer_shape([S(8, 4, 4), S(8, 4, 5)])
+
+    def test_concat_channels(self):
+        out = Concat().infer_shape([S(64, 8, 8), S(64, 8, 8), S(32, 8, 8)])
+        assert out == S(160, 8, 8)
+
+    def test_concat_spatial_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Concat().infer_shape([S(8, 4, 4), S(8, 5, 4)])
+
+    def test_multiply_broadcast(self):
+        # SE gate: (C,1,1) scales (C,H,W).
+        out = Multiply().infer_shape([S(64, 14, 14), S(64, 1, 1)])
+        assert out == S(64, 14, 14)
+
+    def test_multiply_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            Multiply().infer_shape([S(64, 4, 4), S(32, 1, 1)])
+
+    def test_multiply_needs_two_inputs(self):
+        with pytest.raises(ValueError):
+            Multiply().infer_shape([S(64, 4, 4)])
+
+
+class TestMisc:
+    def test_input_returns_own_shape(self):
+        assert Input(S(3, 10, 10)).infer_shape([]) == S(3, 10, 10)
+
+    def test_input_rejects_inputs(self):
+        with pytest.raises(ValueError):
+            Input(S(3, 10, 10)).infer_shape([S(3, 10, 10)])
+
+    def test_dropout_free(self):
+        d = Dropout(0.5)
+        assert d.flops([S(8)], S(8)) == 0
+        assert d.param_count() == 0
+
+    def test_zeropad(self):
+        assert ZeroPad2d(2).infer_shape([S(3, 4, 4)]) == S(3, 8, 8)
+
+    def test_lrn_cost_scales_with_size(self):
+        shape = S(8, 4, 4)
+        assert LocalResponseNorm(9).flops([shape], shape) > LocalResponseNorm(
+            3
+        ).flops([shape], shape)
+
+    def test_has_params_flag(self):
+        assert Conv2d(3, 8).has_params
+        assert BatchNorm2d(8).has_params
+        assert not Activation("relu").has_params
+        assert not MaxPool2d(2).has_params

@@ -1,0 +1,118 @@
+"""Pipeline model-parallel planning and ViT training extension."""
+
+import pytest
+
+from repro.core.forward import ForwardModel
+from repro.core.loo import leave_one_out
+from repro.core.training import TrainingStepModel
+from repro.distributed.interconnect import IB_HDR200_X4, NVLINK3
+from repro.extensions import (
+    compare_stage_counts,
+    plan_pipeline,
+    vit_training_campaign,
+)
+from repro.zoo import build_model
+
+
+@pytest.fixture(scope="module")
+def fwd_model(small_inference_data):
+    return ForwardModel().fit(small_inference_data)
+
+
+@pytest.fixture(scope="module")
+def resnet_graph():
+    return build_model("resnet50", 128)
+
+
+class TestPipelinePlanning:
+    def test_stage_count_and_block_coverage(self, fwd_model, resnet_graph):
+        plan = plan_pipeline(resnet_graph, fwd_model, 4, micro_batch=8)
+        assert len(plan.stages) == 4
+        covered = [b for s in plan.stages for b in s.blocks]
+        assert covered == resnet_graph.block_names()
+
+    def test_stages_contiguous_and_ordered(self, fwd_model, resnet_graph):
+        plan = plan_pipeline(resnet_graph, fwd_model, 3, micro_batch=8)
+        indices = [s.index for s in plan.stages]
+        assert indices == [0, 1, 2]
+
+    def test_partition_is_roughly_balanced(self, fwd_model, resnet_graph):
+        plan = plan_pipeline(resnet_graph, fwd_model, 4, micro_batch=8)
+        times = [s.compute_time for s in plan.stages]
+        assert max(times) < 3.0 * (sum(times) / len(times))
+        assert plan.pipeline_efficiency > 0.4
+
+    def test_single_stage_is_whole_model(self, fwd_model, resnet_graph):
+        plan = plan_pipeline(resnet_graph, fwd_model, 1, micro_batch=8)
+        assert len(plan.stages) == 1
+        assert plan.pipeline_efficiency == pytest.approx(1.0)
+
+    def test_bottleneck_bounds_step_time(self, fwd_model, resnet_graph):
+        plan = plan_pipeline(resnet_graph, fwd_model, 4, micro_batch=8)
+        n = 8
+        assert plan.step_time(n) == pytest.approx(
+            (n + 3) * plan.bottleneck_time
+        )
+
+    def test_more_microbatches_amortise_fill_drain(
+        self, fwd_model, resnet_graph
+    ):
+        plan = plan_pipeline(resnet_graph, fwd_model, 4, micro_batch=8)
+        per_mb_few = plan.step_time(2) / 2
+        per_mb_many = plan.step_time(32) / 32
+        assert per_mb_many < per_mb_few
+
+    def test_slow_link_hurts(self, fwd_model, resnet_graph):
+        fast = plan_pipeline(resnet_graph, fwd_model, 4, micro_batch=8,
+                             link=NVLINK3)
+        slow = plan_pipeline(resnet_graph, fwd_model, 4, micro_batch=8,
+                             link=IB_HDR200_X4)
+        assert slow.bottleneck_time >= fast.bottleneck_time
+
+    def test_too_many_stages_rejected(self, fwd_model):
+        graph = build_model("alexnet", 224)  # only 2 blocks
+        with pytest.raises(ValueError, match="cannot make"):
+            plan_pipeline(graph, fwd_model, 10)
+
+    def test_invalid_stage_count(self, fwd_model, resnet_graph):
+        with pytest.raises(ValueError):
+            plan_pipeline(resnet_graph, fwd_model, 0)
+
+    def test_invalid_microbatch_count(self, fwd_model, resnet_graph):
+        plan = plan_pipeline(resnet_graph, fwd_model, 2, micro_batch=8)
+        with pytest.raises(ValueError):
+            plan.step_time(0)
+
+    def test_compare_stage_counts(self, fwd_model, resnet_graph):
+        plans = compare_stage_counts(
+            resnet_graph, fwd_model, (1, 2, 4), micro_batch=8
+        )
+        assert set(plans) == {1, 2, 4}
+        # Deeper pipelines have shorter bottleneck slots.
+        assert plans[4].bottleneck_time < plans[1].bottleneck_time
+
+    def test_deeper_pipeline_raises_throughput(self, fwd_model, resnet_graph):
+        """The model-parallel payoff: micro-batches per second improve with
+        stages even though efficiency drops."""
+        plans = compare_stage_counts(
+            resnet_graph, fwd_model, (1, 4), micro_batch=8,
+            n_micro_batches=16,
+        )
+        thr1 = 16 / plans[1].step_time(16)
+        thr4 = 16 / plans[4].step_time(16)
+        assert thr4 > 1.5 * thr1
+
+
+class TestViTTraining:
+    def test_training_campaign_phases(self):
+        data = vit_training_campaign(seed=53)
+        assert all(r.scenario == "training" for r in data)
+        assert all(r.t_bwd > 0 and r.t_grad > 0 for r in data)
+
+    def test_step_model_fits_vits(self):
+        data = vit_training_campaign(seed=53)
+        result = leave_one_out(
+            data, lambda: TrainingStepModel(), lambda r: r.t_total
+        )
+        assert result.pooled.r2 > 0.9
+        assert result.pooled.mape < 0.35

@@ -1,0 +1,71 @@
+"""Block-level latency report."""
+
+import pytest
+
+from repro.analysis.model_report import block_report
+from repro.core.forward import ForwardModel
+from repro.graph.builder import GraphBuilder
+from repro.zoo import build_model
+
+
+@pytest.fixture(scope="module")
+def forward_model(small_inference_data):
+    return ForwardModel().fit(small_inference_data)
+
+
+class TestBlockReport:
+    def test_covers_all_blocks(self, forward_model):
+        graph = build_model("resnet18", 128)
+        report = block_report(graph, forward_model, batch=8)
+        assert {r.block for r in report.rows} == set(graph.block_names())
+
+    def test_shares_sum_to_one(self, forward_model):
+        graph = build_model("resnet50", 128)
+        report = block_report(graph, forward_model, batch=8)
+        assert sum(r.share for r in report.rows) == pytest.approx(1.0)
+
+    def test_bottleneck_is_max_share(self, forward_model):
+        graph = build_model("resnet18", 128)
+        report = block_report(graph, forward_model, batch=8)
+        bottleneck = report.bottleneck()
+        assert bottleneck.share == max(r.share for r in report.rows)
+
+    def test_predictions_nonnegative(self, forward_model):
+        graph = build_model("mobilenet_v2", 96)
+        report = block_report(graph, forward_model, batch=4)
+        assert all(r.predicted_time >= 0 for r in report.rows)
+
+    def test_early_blocks_carry_most_time_in_resnet(self, forward_model):
+        """Spatially large early stages dominate — the structural fact a
+        NAS would act on."""
+        graph = build_model("resnet18", 224)
+        report = block_report(graph, forward_model, batch=8)
+        by_name = {r.block: r for r in report.rows}
+        assert by_name["layer1.0"].predicted_time > (
+            by_name["layer4.1"].predicted_time * 0.5
+        )
+
+    def test_render(self, forward_model):
+        graph = build_model("resnet18", 128)
+        text = block_report(graph, forward_model, batch=8).render()
+        assert "layer1.0" in text and "share" in text
+
+    def test_blockless_graph_rejected(self, forward_model):
+        b = GraphBuilder("flat")
+        x = b.input(3, 8, 8)
+        b.conv(x, 4, kernel_size=1)
+        with pytest.raises(ValueError, match="no blocks"):
+            block_report(b.finish(), forward_model)
+
+    def test_total_time_close_to_whole_model_prediction(self, forward_model):
+        """Summed block predictions approximate the whole-model prediction
+        (they share everything except per-block intercepts)."""
+        from repro.benchdata.records import ConvNetFeatures
+        from repro.hardware.roofline import zoo_profile
+
+        graph = build_model("resnet50", 128)
+        report = block_report(graph, forward_model, batch=64)
+        whole = forward_model.predict_one(
+            ConvNetFeatures.from_profile(zoo_profile("resnet50", 128)), 64
+        )
+        assert report.total_time == pytest.approx(whole, rel=0.5)

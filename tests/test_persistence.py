@@ -1,0 +1,102 @@
+"""Model persistence: JSON round-trips for every model kind."""
+
+import numpy as np
+import pytest
+
+from repro.core.forward import ForwardModel
+from repro.core.persistence import (
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+from repro.core.training import (
+    BackwardModel,
+    CombinedBwdGradModel,
+    GradientUpdateModel,
+    TrainingStepModel,
+)
+from tests.test_core_models import synthetic_dataset
+
+
+@pytest.fixture(scope="module")
+def data():
+    return synthetic_dataset(nodes_list=(1, 2, 4), n_models=5)
+
+
+class TestRoundTrips:
+    def test_forward_model(self, data, tmp_path):
+        model = ForwardModel().fit(data)
+        path = tmp_path / "fwd.json"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert isinstance(loaded, ForwardModel)
+        np.testing.assert_allclose(loaded.predict(data), model.predict(data))
+
+    def test_forward_model_metric_subset(self, data, tmp_path):
+        model = ForwardModel(metric_names=("flops",)).fit(data)
+        path = tmp_path / "fwd1.json"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.metric_names == ("flops",)
+        np.testing.assert_allclose(loaded.predict(data), model.predict(data))
+
+    def test_backward_model(self, data, tmp_path):
+        model = BackwardModel().fit(data)
+        path = tmp_path / "bwd.json"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert isinstance(loaded, BackwardModel)
+        assert loaded.phase == "bwd"
+        np.testing.assert_allclose(loaded.predict(data), model.predict(data))
+
+    def test_grad_update_model(self, data, tmp_path):
+        multi = data.filter(lambda r: r.nodes > 1)
+        model = GradientUpdateModel(multi_node=True).fit(multi)
+        path = tmp_path / "grad.json"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.multi_node
+        np.testing.assert_allclose(
+            loaded.predict(multi), model.predict(multi)
+        )
+
+    def test_combined_model(self, data, tmp_path):
+        model = CombinedBwdGradModel().fit(data)
+        path = tmp_path / "comb.json"
+        save_model(model, path)
+        loaded = load_model(path)
+        np.testing.assert_allclose(loaded.predict(data), model.predict(data))
+
+    def test_training_step_model(self, data, tmp_path):
+        model = TrainingStepModel().fit(data)
+        path = tmp_path / "step.json"
+        save_model(model, path)
+        loaded = load_model(path)
+        np.testing.assert_allclose(loaded.predict(data), model.predict(data))
+        r = data[0]
+        assert loaded.predict_one(
+            r.features, r.batch, r.devices, r.nodes
+        ).total == pytest.approx(
+            model.predict_one(r.features, r.batch, r.devices, r.nodes).total
+        )
+
+    def test_unfitted_model_roundtrip(self, tmp_path):
+        path = tmp_path / "unfitted.json"
+        save_model(ForwardModel(), path)
+        loaded = load_model(path)
+        assert not loaded.model.is_fitted
+
+
+class TestErrors:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown model kind"):
+            model_from_dict({"format": 1, "kind": "mystery"})
+
+    def test_bad_format_version(self):
+        with pytest.raises(ValueError, match="format"):
+            model_from_dict({"format": 99, "kind": "forward"})
+
+    def test_unserialisable_type(self):
+        with pytest.raises(TypeError):
+            model_to_dict(object())

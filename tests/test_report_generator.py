@@ -1,0 +1,35 @@
+"""Markdown report generator."""
+
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.report import ALL_EXPERIMENTS, generate_markdown, write_report
+from repro.experiments.table4 import run_table4
+
+
+class TestReportGenerator:
+    SUBSET = (
+        ("Figure 2 — metric-set ablation", run_fig2),
+        ("Table 4 — related work", run_table4),
+    )
+
+    def test_covers_all_paper_artefacts(self):
+        titles = [t for t, _ in ALL_EXPERIMENTS]
+        for artefact in ("Figure 1", "Figure 2", "Table 1", "Table 2",
+                         "Figure 6", "Table 3", "Figure 8", "Figure 9",
+                         "Table 4"):
+            assert any(artefact in t for t in titles), artefact
+
+    def test_markdown_structure(self):
+        md = generate_markdown(self.SUBSET, include_timings=False)
+        assert md.startswith("# ConvMeter evaluation report")
+        assert "## Figure 2" in md
+        assert "## Table 4" in md
+        assert md.count("```") == 2 * len(self.SUBSET)
+
+    def test_timings_included_by_default(self):
+        md = generate_markdown(self.SUBSET)
+        assert "regenerated in" in md
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "report.md"
+        write_report(path, experiments=self.SUBSET, include_timings=False)
+        assert path.read_text().startswith("# ConvMeter evaluation report")

@@ -1,0 +1,128 @@
+"""Unit tests for tensor shapes and window arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graph.tensor import (
+    FLOAT32_BYTES,
+    TensorShape,
+    conv_output_hw,
+    pool_output_hw_ceil,
+)
+
+
+class TestTensorShape:
+    def test_spatial_numel(self):
+        assert TensorShape(3, 4, 5).numel == 60
+
+    def test_flat_numel(self):
+        assert TensorShape(128).numel == 128
+
+    def test_nbytes(self):
+        assert TensorShape(2, 2, 2).nbytes == 8 * FLOAT32_BYTES
+
+    def test_is_spatial(self):
+        assert TensorShape(3, 8, 8).is_spatial
+        assert not TensorShape(42).is_spatial
+
+    def test_flattened_preserves_numel(self):
+        shape = TensorShape(16, 7, 7)
+        flat = shape.flattened()
+        assert not flat.is_spatial
+        assert flat.numel == shape.numel
+
+    def test_rejects_nonpositive_channels(self):
+        with pytest.raises(ValueError):
+            TensorShape(0)
+
+    def test_rejects_partial_spatial(self):
+        with pytest.raises(ValueError):
+            TensorShape(3, 8, None)
+
+    def test_rejects_nonpositive_spatial(self):
+        with pytest.raises(ValueError):
+            TensorShape(3, 0, 8)
+
+    def test_str_forms(self):
+        assert str(TensorShape(3, 2, 2)) == "(3, 2, 2)"
+        assert str(TensorShape(9)) == "(9)"
+
+    def test_equality_is_structural(self):
+        assert TensorShape(3, 8, 8) == TensorShape(3, 8, 8)
+        assert TensorShape(3, 8, 8) != TensorShape(3, 8, 9)
+
+    @given(
+        c=st.integers(1, 64),
+        h=st.integers(1, 64),
+        w=st.integers(1, 64),
+    )
+    def test_numel_product_property(self, c, h, w):
+        assert TensorShape(c, h, w).numel == c * h * w
+
+
+class TestConvOutputHW:
+    def test_identity_padding(self):
+        # 3x3 stride 1 pad 1 preserves the size.
+        assert conv_output_hw(32, 3, 1, 1) == 32
+
+    def test_stride_two_halves(self):
+        assert conv_output_hw(224, 3, 2, 1) == 112
+
+    def test_resnet_stem(self):
+        assert conv_output_hw(224, 7, 2, 3) == 112
+
+    def test_dilation(self):
+        # Dilated 3x3 behaves like a 5x5 window.
+        assert conv_output_hw(32, 3, 1, 0, dilation=2) == conv_output_hw(
+            32, 5, 1, 0
+        )
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_hw(2, 5, 1, 0)
+
+    @given(
+        size=st.integers(1, 300),
+        kernel=st.integers(1, 11),
+        stride=st.integers(1, 4),
+        padding=st.integers(0, 5),
+    )
+    def test_output_positive_and_bounded(self, size, kernel, stride, padding):
+        try:
+            out = conv_output_hw(size, kernel, stride, padding)
+        except ValueError:
+            return
+        assert out >= 1
+        # The window at position (out-1)*stride must fit in the padded input.
+        assert (out - 1) * stride + kernel <= size + 2 * padding
+
+
+class TestPoolCeilMode:
+    def test_ceil_adds_partial_window(self):
+        # 56 px, window 3 stride 2: floor drops the trailing partial window,
+        # ceil keeps it.
+        assert conv_output_hw(56, 3, 2, 0) == 27
+        assert pool_output_hw_ceil(56, 3, 2, 0) == 28
+
+    def test_ceil_equals_floor_when_exact(self):
+        assert pool_output_hw_ceil(8, 2, 2, 0) == conv_output_hw(8, 2, 2, 0)
+        assert pool_output_hw_ceil(55, 3, 2, 0) == conv_output_hw(55, 3, 2, 0)
+
+    def test_window_clipped_when_starting_in_padding(self):
+        # PyTorch clips ceil-mode windows that start at or past in + padding:
+        # here (out-1)*stride stays below in + padding so no clip applies.
+        assert pool_output_hw_ceil(4, 2, 2, 1) == 3
+        # With stride 3 the extra window would start at index 6 >= 4 + 1.
+        assert pool_output_hw_ceil(4, 2, 3, 1) == 2
+
+    @given(
+        size=st.integers(2, 300),
+        kernel=st.integers(1, 7),
+        stride=st.integers(1, 4),
+    )
+    def test_ceil_geq_floor(self, size, kernel, stride):
+        if kernel > size:
+            return
+        floor = conv_output_hw(size, kernel, stride, 0)
+        ceil = pool_output_hw_ceil(size, kernel, stride, 0)
+        assert ceil in (floor, floor + 1)
