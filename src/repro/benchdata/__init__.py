@@ -13,6 +13,15 @@ from repro.benchdata.records import (
     aggregate_reps,
 )
 from repro.benchdata.cost import CampaignCost, campaign_cost
+from repro.benchdata.engine import (
+    CampaignResult,
+    CampaignSpec,
+    CampaignStats,
+    SweepPoint,
+    enumerate_points,
+    run_campaign,
+)
+from repro.benchdata.store import CampaignStore, StoreMismatch
 from repro.benchdata.campaign import (
     DEFAULT_BATCH_SIZES,
     DEFAULT_IMAGE_SIZES,
@@ -30,6 +39,14 @@ __all__ = [
     "aggregate_reps",
     "CampaignCost",
     "campaign_cost",
+    "CampaignResult",
+    "CampaignSpec",
+    "CampaignStats",
+    "CampaignStore",
+    "StoreMismatch",
+    "SweepPoint",
+    "enumerate_points",
+    "run_campaign",
     "DEFAULT_BATCH_SIZES",
     "DEFAULT_IMAGE_SIZES",
     "DEFAULT_MODELS",

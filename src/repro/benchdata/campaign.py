@@ -4,22 +4,38 @@ The sweeps mirror the paper's campaign: "batch sizes from one to 2048 and
 image sizes from 32 to 224 pixels, as long as the available memory on the
 target system allows", yielding a few thousand data points per scenario
 (the paper collects "less than 5,000").
+
+Each generator is a thin wrapper that builds a
+:class:`~repro.benchdata.engine.CampaignSpec` and hands it to
+:func:`~repro.benchdata.engine.run_campaign`; pass ``workers=N`` to fan the
+sweep out over a process pool — the record stream is byte-identical either
+way.  Use the engine directly for progress callbacks, throughput stats, or
+a resumable on-disk store.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Sequence
 
-from repro.benchdata.records import ConvNetFeatures, Dataset, TimingRecord
-from repro.distributed.cluster import ClusterSpec
-from repro.distributed.trainer import DistributedTrainer
+from repro.benchdata.engine import (
+    CampaignSpec,
+    block_profile,
+    run_campaign,
+)
+from repro.benchdata.records import Dataset
 from repro.hardware.device import A100_80GB, DeviceSpec
-from repro.hardware.executor import SimulatedExecutor
-from repro.hardware.memory import fits
-from repro.hardware.roofline import CostProfile, profile_graph, zoo_profile
-from repro.zoo.blocks import BLOCK_CATALOGUE, BlockSpec, build_block
-from repro.zoo.registry import get_entry
+from repro.zoo.blocks import BLOCK_CATALOGUE, BlockSpec
+
+__all__ = [
+    "DEFAULT_BATCH_SIZES",
+    "DEFAULT_IMAGE_SIZES",
+    "DEFAULT_MODELS",
+    "block_profile",
+    "inference_campaign",
+    "training_campaign",
+    "distributed_campaign",
+    "block_campaign",
+]
 
 #: Paper sweep: batch sizes 1…2048 (powers of two).
 DEFAULT_BATCH_SIZES: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
@@ -47,20 +63,6 @@ DEFAULT_MODELS: tuple[str, ...] = (
 )
 
 
-def _valid_images(model: str, image_sizes: Sequence[int]) -> list[int]:
-    min_size = get_entry(model).min_image_size
-    return [s for s in image_sizes if s >= min_size]
-
-
-@lru_cache(maxsize=1024)
-def block_profile(block_name: str, image_size: int) -> CostProfile:
-    """Cached cost profile of a Table 2 block at a given parent image size."""
-    for spec in BLOCK_CATALOGUE:
-        if spec.name == block_name:
-            return profile_graph(build_block(spec, image_size))
-    raise KeyError(f"unknown block {block_name!r}")
-
-
 def inference_campaign(
     models: Sequence[str] = DEFAULT_MODELS,
     device: DeviceSpec = A100_80GB,
@@ -69,6 +71,7 @@ def inference_campaign(
     seed: int = 0,
     reps: int = 1,
     max_seconds: float | None = None,
+    workers: int = 0,
 ) -> Dataset:
     """Measure inference across the sweep grid on one device.
 
@@ -76,38 +79,17 @@ def inference_campaign(
     budget — the practical cap any real campaign applies (a batch-2048
     VGG16 run on one CPU core would take the better part of an hour).
     """
-    executor = SimulatedExecutor(device, seed=seed)
-    data = Dataset()
-    for model in models:
-        for image in _valid_images(model, image_sizes):
-            profile = zoo_profile(model, image)
-            features = ConvNetFeatures.from_profile(profile)
-            for batch in batch_sizes:
-                if not fits(profile, batch, device, training=False):
-                    continue
-                if (
-                    max_seconds is not None
-                    and executor.forward_time_clean(profile, batch)
-                    > max_seconds
-                ):
-                    continue
-                for rep in range(reps):
-                    t = executor.measure_inference(profile, batch, rep=rep)
-                    data.append(
-                        TimingRecord(
-                            model=model,
-                            device=device.name,
-                            image_size=image,
-                            batch=batch,
-                            nodes=1,
-                            devices=1,
-                            scenario="inference",
-                            features=features,
-                            t_fwd=t,
-                            rep=rep,
-                        )
-                    )
-    return data
+    spec = CampaignSpec(
+        scenario="inference",
+        models=tuple(models),
+        device=device,
+        batch_sizes=tuple(batch_sizes),
+        image_sizes=tuple(image_sizes),
+        seed=seed,
+        reps=reps,
+        max_seconds=max_seconds,
+    )
+    return run_campaign(spec, workers=workers).dataset
 
 
 def training_campaign(
@@ -118,43 +100,20 @@ def training_campaign(
     seed: int = 0,
     reps: int = 1,
     max_seconds: float | None = None,
+    workers: int = 0,
 ) -> Dataset:
     """Measure single-device training steps across the sweep grid."""
-    executor = SimulatedExecutor(device, seed=seed)
-    data = Dataset()
-    for model in models:
-        for image in _valid_images(model, image_sizes):
-            profile = zoo_profile(model, image)
-            features = ConvNetFeatures.from_profile(profile)
-            for batch in batch_sizes:
-                if not fits(profile, batch, device, training=True):
-                    continue
-                if max_seconds is not None and (
-                    executor.forward_time_clean(profile, batch)
-                    + executor.backward_time_clean(profile, batch)
-                ) > max_seconds:
-                    continue
-                for rep in range(reps):
-                    phases = executor.measure_training_step(
-                        profile, batch, rep=rep
-                    )
-                    data.append(
-                        TimingRecord(
-                            model=model,
-                            device=device.name,
-                            image_size=image,
-                            batch=batch,
-                            nodes=1,
-                            devices=1,
-                            scenario="training",
-                            features=features,
-                            t_fwd=phases.forward,
-                            t_bwd=phases.backward,
-                            t_grad=phases.grad_update,
-                            rep=rep,
-                        )
-                    )
-    return data
+    spec = CampaignSpec(
+        scenario="training",
+        models=tuple(models),
+        device=device,
+        batch_sizes=tuple(batch_sizes),
+        image_sizes=tuple(image_sizes),
+        seed=seed,
+        reps=reps,
+        max_seconds=max_seconds,
+    )
+    return run_campaign(spec, workers=workers).dataset
 
 
 def distributed_campaign(
@@ -166,41 +125,22 @@ def distributed_campaign(
     image_sizes: Sequence[int] = (64, 128, 192),
     seed: int = 0,
     reps: int = 1,
+    workers: int = 0,
 ) -> Dataset:
     """Measure distributed training steps across node counts (weak scaling:
     ``batch`` is the per-device mini-batch)."""
-    data = Dataset()
-    for nodes in node_counts:
-        cluster = ClusterSpec(
-            nodes=nodes, gpus_per_node=gpus_per_node, device=device
-        )
-        trainer = DistributedTrainer(cluster, seed=seed)
-        for model in models:
-            for image in _valid_images(model, image_sizes):
-                profile = zoo_profile(model, image)
-                features = ConvNetFeatures.from_profile(profile)
-                for batch in batch_sizes:
-                    if not fits(profile, batch, device, training=True):
-                        continue
-                    for rep in range(reps):
-                        phases = trainer.measure_step(profile, batch, rep=rep)
-                        data.append(
-                            TimingRecord(
-                                model=model,
-                                device=device.name,
-                                image_size=image,
-                                batch=batch,
-                                nodes=nodes,
-                                devices=cluster.total_devices,
-                                scenario="distributed",
-                                features=features,
-                                t_fwd=phases.forward,
-                                t_bwd=phases.backward,
-                                t_grad=phases.grad_update,
-                                rep=rep,
-                            )
-                        )
-    return data
+    spec = CampaignSpec(
+        scenario="distributed",
+        models=tuple(models),
+        device=device,
+        batch_sizes=tuple(batch_sizes),
+        image_sizes=tuple(image_sizes),
+        seed=seed,
+        reps=reps,
+        node_counts=tuple(node_counts),
+        gpus_per_node=gpus_per_node,
+    )
+    return run_campaign(spec, workers=workers).dataset
 
 
 def block_campaign(
@@ -210,34 +150,16 @@ def block_campaign(
     image_sizes: Sequence[int] = DEFAULT_IMAGE_SIZES,
     seed: int = 0,
     reps: int = 1,
+    workers: int = 0,
 ) -> Dataset:
     """Measure block-wise inference (Table 2 / Figure 4)."""
-    executor = SimulatedExecutor(device, seed=seed)
-    data = Dataset()
-    for spec in blocks:
-        min_size = get_entry(spec.model).min_image_size
-        for image in image_sizes:
-            if image < min_size:
-                continue
-            profile = block_profile(spec.name, image)
-            features = ConvNetFeatures.from_profile(profile)
-            for batch in batch_sizes:
-                if not fits(profile, batch, device, training=False):
-                    continue
-                for rep in range(reps):
-                    t = executor.measure_inference(profile, batch, rep=rep)
-                    data.append(
-                        TimingRecord(
-                            model=spec.name,
-                            device=device.name,
-                            image_size=image,
-                            batch=batch,
-                            nodes=1,
-                            devices=1,
-                            scenario="inference",
-                            features=features,
-                            t_fwd=t,
-                            rep=rep,
-                        )
-                    )
-    return data
+    spec = CampaignSpec(
+        scenario="blocks",
+        models=tuple(b.name for b in blocks),
+        device=device,
+        batch_sizes=tuple(batch_sizes),
+        image_sizes=tuple(image_sizes),
+        seed=seed,
+        reps=reps,
+    )
+    return run_campaign(spec, workers=workers).dataset

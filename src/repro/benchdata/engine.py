@@ -1,0 +1,435 @@
+"""Campaign execution engine: parallel, cached, resumable sweeps.
+
+The paper's measurement campaign is a few thousand independent
+``(model, batch, image_size)`` points per scenario.  This module turns that
+sweep into an explicit point list and executes it through one engine:
+
+* **Enumeration** — :func:`enumerate_points` expands a
+  :class:`CampaignSpec` into a deterministic, ordered list of
+  :class:`SweepPoint` s.  The order is part of the contract: the assembled
+  dataset always follows enumeration order, never completion order.
+* **Execution** — :func:`run_campaign` measures every point either in
+  process (``workers <= 1``) or fanned out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Results are keyed by
+  point index, so parallel runs are byte-identical to serial ones; all
+  measurement noise is seeded from the point identity via
+  :func:`repro.hardware.noise.point_seed`, never from call order.
+* **Memoisation** — graph profiles are built once per ``(model, image)``
+  per process through the bounded caches here and in
+  :mod:`repro.hardware.roofline`; per-point cache deltas are aggregated
+  across workers so the reported hit rate covers the whole campaign.
+* **Resume** — with a :class:`repro.benchdata.store.CampaignStore`
+  attached, each point's records (including the empty record lists of
+  memory-gated points) are appended to a JSONL log as they complete;
+  rerunning skips everything already on disk and appends only the rest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.benchdata.records import ConvNetFeatures, Dataset, TimingRecord
+from repro.caching import CacheStats, LRUCache
+from repro.distributed.cluster import ClusterSpec
+from repro.distributed.trainer import DistributedTrainer
+from repro.hardware.device import DeviceSpec
+from repro.hardware.executor import SimulatedExecutor
+from repro.hardware.memory import fits
+from repro.hardware.roofline import (
+    PROFILE_CACHE,
+    CostProfile,
+    profile_graph,
+    zoo_profile,
+)
+from repro.zoo.blocks import BLOCK_CATALOGUE, build_block
+from repro.zoo.registry import get_entry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store uses spec)
+    from repro.benchdata.store import CampaignStore
+
+SCENARIOS = ("inference", "training", "distributed", "blocks")
+
+#: Bounded cache of Table 2 block profiles, keyed ``(block, image_size)``.
+BLOCK_PROFILE_CACHE: LRUCache[tuple[str, int], CostProfile] = LRUCache(
+    maxsize=256
+)
+
+
+def block_profile(block_name: str, image_size: int) -> CostProfile:
+    """Cached cost profile of a Table 2 block at a given parent image size."""
+
+    def build() -> CostProfile:
+        for spec in BLOCK_CATALOGUE:
+            if spec.name == block_name:
+                return profile_graph(build_block(spec, image_size))
+        raise KeyError(f"unknown block {block_name!r}")
+
+    return BLOCK_PROFILE_CACHE.get_or_compute((block_name, image_size), build)
+
+
+def engine_cache_stats() -> CacheStats:
+    """Combined counters of the profile caches the engine draws from."""
+    return PROFILE_CACHE.stats() + BLOCK_PROFILE_CACHE.stats()
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independently measurable configuration of a campaign."""
+
+    scenario: str
+    model: str
+    image_size: int
+    batch: int
+    nodes: int = 1
+    rep: int = 0
+
+    @property
+    def key(self) -> str:
+        """Stable identity used for record-store resume bookkeeping."""
+        return (
+            f"{self.scenario}:{self.model}:{self.image_size}"
+            f":{self.batch}:{self.nodes}:{self.rep}"
+        )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything that determines a campaign's record set, and nothing else.
+
+    Two specs with equal :meth:`fingerprint` produce byte-identical record
+    streams — the invariant the store checks before resuming.
+    """
+
+    scenario: str
+    models: tuple[str, ...]
+    device: DeviceSpec
+    batch_sizes: tuple[int, ...]
+    image_sizes: tuple[int, ...]
+    seed: int = 0
+    reps: int = 1
+    max_seconds: float | None = None
+    node_counts: tuple[int, ...] = (1,)
+    gpus_per_node: int = 4
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {self.scenario!r}; one of {SCENARIOS}"
+            )
+
+    def manifest(self) -> dict:
+        """JSON-serialisable description, written to the store manifest."""
+        return {
+            "scenario": self.scenario,
+            "models": list(self.models),
+            "device": self.device.name,
+            "batch_sizes": list(self.batch_sizes),
+            "image_sizes": list(self.image_sizes),
+            "seed": self.seed,
+            "reps": self.reps,
+            "max_seconds": self.max_seconds,
+            "node_counts": list(self.node_counts),
+            "gpus_per_node": self.gpus_per_node,
+        }
+
+    def fingerprint(self) -> str:
+        blob = json.dumps(self.manifest(), sort_keys=True).encode()
+        return hashlib.blake2b(blob, digest_size=16).hexdigest()
+
+
+def _valid_images(model: str, image_sizes: tuple[int, ...]) -> list[int]:
+    min_size = get_entry(model).min_image_size
+    return [s for s in image_sizes if s >= min_size]
+
+
+def enumerate_points(spec: CampaignSpec) -> list[SweepPoint]:
+    """Expand a spec into its ordered sweep-point list.
+
+    Only architecture constraints (minimum image size) are applied here;
+    memory and runtime-budget gating need a built profile and therefore
+    happen inside :func:`execute_point`, where the build is cached.
+    """
+    points: list[SweepPoint] = []
+    if spec.scenario == "blocks":
+        catalogue = (
+            [b for b in BLOCK_CATALOGUE if b.name in spec.models]
+            if spec.models
+            else list(BLOCK_CATALOGUE)
+        )
+        for block in catalogue:
+            min_size = get_entry(block.model).min_image_size
+            for image in spec.image_sizes:
+                if image < min_size:
+                    continue
+                for batch in spec.batch_sizes:
+                    for rep in range(spec.reps):
+                        points.append(
+                            SweepPoint(
+                                spec.scenario, block.name, image, batch,
+                                rep=rep,
+                            )
+                        )
+        return points
+
+    node_counts = spec.node_counts if spec.scenario == "distributed" else (1,)
+    for nodes in node_counts:
+        for model in spec.models:
+            for image in _valid_images(model, spec.image_sizes):
+                for batch in spec.batch_sizes:
+                    for rep in range(spec.reps):
+                        points.append(
+                            SweepPoint(
+                                spec.scenario, model, image, batch,
+                                nodes=nodes, rep=rep,
+                            )
+                        )
+    return points
+
+
+def execute_point(spec: CampaignSpec, point: SweepPoint) -> list[TimingRecord]:
+    """Measure one sweep point; empty list when gated out (OOM / budget).
+
+    Pure in the campaign sense: output depends only on ``(spec, point)``,
+    so any execution order, process placement, or resume split yields the
+    same records.
+    """
+    training = spec.scenario in ("training", "distributed")
+    if spec.scenario == "blocks":
+        profile = block_profile(point.model, point.image_size)
+    else:
+        profile = zoo_profile(point.model, point.image_size)
+    if not fits(profile, point.batch, spec.device, training=training):
+        return []
+    features = ConvNetFeatures.from_profile(profile)
+
+    if spec.scenario in ("inference", "blocks"):
+        executor = SimulatedExecutor(spec.device, seed=spec.seed)
+        if (
+            spec.max_seconds is not None
+            and executor.forward_time_clean(profile, point.batch)
+            > spec.max_seconds
+        ):
+            return []
+        t = executor.measure_inference(profile, point.batch, rep=point.rep)
+        return [
+            TimingRecord(
+                model=point.model,
+                device=spec.device.name,
+                image_size=point.image_size,
+                batch=point.batch,
+                nodes=1,
+                devices=1,
+                scenario="inference",
+                features=features,
+                t_fwd=t,
+                rep=point.rep,
+            )
+        ]
+
+    if spec.scenario == "training":
+        executor = SimulatedExecutor(spec.device, seed=spec.seed)
+        if spec.max_seconds is not None and (
+            executor.forward_time_clean(profile, point.batch)
+            + executor.backward_time_clean(profile, point.batch)
+        ) > spec.max_seconds:
+            return []
+        phases = executor.measure_training_step(
+            profile, point.batch, rep=point.rep
+        )
+        return [
+            TimingRecord(
+                model=point.model,
+                device=spec.device.name,
+                image_size=point.image_size,
+                batch=point.batch,
+                nodes=1,
+                devices=1,
+                scenario="training",
+                features=features,
+                t_fwd=phases.forward,
+                t_bwd=phases.backward,
+                t_grad=phases.grad_update,
+                rep=point.rep,
+            )
+        ]
+
+    cluster = ClusterSpec(
+        nodes=point.nodes,
+        gpus_per_node=spec.gpus_per_node,
+        device=spec.device,
+    )
+    trainer = DistributedTrainer(cluster, seed=spec.seed)
+    phases = trainer.measure_step(profile, point.batch, rep=point.rep)
+    return [
+        TimingRecord(
+            model=point.model,
+            device=spec.device.name,
+            image_size=point.image_size,
+            batch=point.batch,
+            nodes=point.nodes,
+            devices=cluster.total_devices,
+            scenario="distributed",
+            features=features,
+            t_fwd=phases.forward,
+            t_bwd=phases.backward,
+            t_grad=phases.grad_update,
+            rep=point.rep,
+        )
+    ]
+
+
+# -- process-pool plumbing ---------------------------------------------------
+
+_WORKER_SPEC: CampaignSpec | None = None
+
+
+def _init_worker(spec: CampaignSpec) -> None:
+    global _WORKER_SPEC
+    _WORKER_SPEC = spec
+
+
+def _run_point_task(
+    task: tuple[int, SweepPoint]
+) -> tuple[int, str, list[TimingRecord], CacheStats]:
+    """Executed inside a pool worker; returns per-point cache deltas so the
+    parent can report a campaign-wide hit rate across processes."""
+    index, point = task
+    assert _WORKER_SPEC is not None, "worker pool not initialised"
+    before = engine_cache_stats()
+    records = execute_point(_WORKER_SPEC, point)
+    return index, point.key, records, engine_cache_stats() - before
+
+
+# -- driver ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignStats:
+    """Observability counters of one :func:`run_campaign` invocation."""
+
+    scenario: str
+    workers: int
+    #: Enumerated sweep points (measured + gated + restored).
+    n_points: int
+    #: Points skipped because the record store already held them.
+    n_restored: int
+    #: Points actually measured by this run.
+    n_executed: int
+    #: Records in the assembled dataset.
+    n_records: int
+    elapsed_seconds: float
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def points_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.n_executed / self.elapsed_seconds
+
+    def summary(self) -> str:
+        return (
+            f"campaign {self.scenario}: {self.n_points} points "
+            f"({self.n_executed} measured, {self.n_restored} restored) "
+            f"in {self.elapsed_seconds:.2f}s with {self.workers} worker(s) "
+            f"— {self.points_per_second:.1f} points/s, "
+            f"profile cache {self.cache.summary()}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "workers": self.workers,
+            "n_points": self.n_points,
+            "n_restored": self.n_restored,
+            "n_executed": self.n_executed,
+            "n_records": self.n_records,
+            "elapsed_seconds": self.elapsed_seconds,
+            "points_per_second": self.points_per_second,
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "cache_hit_rate": self.cache.hit_rate,
+        }
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    dataset: Dataset
+    stats: CampaignStats
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    workers: int = 0,
+    store: "CampaignStore | None" = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> CampaignResult:
+    """Execute a campaign and assemble its dataset in enumeration order.
+
+    ``workers <= 1`` measures in process; larger values fan points out over
+    a process pool.  Either way the record stream is identical.  With a
+    ``store``, already-recorded points are restored instead of re-measured
+    and new results are appended as they complete, making interrupted
+    campaigns resumable at point granularity.  ``progress(done, total)`` is
+    invoked after each newly measured point.
+    """
+    points = enumerate_points(spec)
+    restored = store.restored_points() if store is not None else {}
+    pending = [
+        (i, p) for i, p in enumerate(points) if p.key not in restored
+    ]
+
+    results: dict[int, list[TimingRecord]] = {}
+    cache_delta = CacheStats()
+    start = time.perf_counter()
+    if workers > 1 and pending:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(spec,),
+        ) as pool:
+            chunksize = max(1, len(pending) // (workers * 8))
+            outcomes = pool.map(_run_point_task, pending, chunksize=chunksize)
+            for index, key, records, delta in outcomes:
+                results[index] = records
+                cache_delta += delta
+                if store is not None:
+                    store.append(key, records)
+                if progress is not None:
+                    progress(len(results), len(pending))
+    else:
+        for index, point in pending:
+            before = engine_cache_stats()
+            records = execute_point(spec, point)
+            cache_delta += engine_cache_stats() - before
+            results[index] = records
+            if store is not None:
+                store.append(point.key, records)
+            if progress is not None:
+                progress(len(results), len(pending))
+    elapsed = time.perf_counter() - start
+
+    dataset = Dataset()
+    for i, point in enumerate(points):
+        if point.key in restored:
+            dataset.extend(restored[point.key])
+        else:
+            dataset.extend(results[i])
+
+    stats = CampaignStats(
+        scenario=spec.scenario,
+        workers=max(1, workers),
+        n_points=len(points),
+        n_restored=len(restored),
+        n_executed=len(pending),
+        n_records=len(dataset),
+        elapsed_seconds=elapsed,
+        cache=cache_delta,
+    )
+    if store is not None:
+        store.finalize(stats)
+    return CampaignResult(dataset=dataset, stats=stats)

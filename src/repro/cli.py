@@ -4,6 +4,8 @@ Mirrors how the paper's tooling would be used operationally::
 
     repro models                               # list the zoo
     repro campaign --scenario inference -o data.json
+    repro campaign --scenario inference --workers 8 \
+                   --store runs/gpu --resume -o data.json
     repro fit --data data.json --kind forward -o model.json
     repro predict --model model.json --network resnet50 \
                   --image 224 --batch 64
@@ -20,10 +22,15 @@ import sys
 from typing import Sequence
 
 from repro.benchdata import (
+    CampaignSpec,
+    CampaignStore,
     Dataset,
-    distributed_campaign,
-    inference_campaign,
-    training_campaign,
+    run_campaign,
+)
+from repro.benchdata.campaign import (
+    DEFAULT_BATCH_SIZES,
+    DEFAULT_IMAGE_SIZES,
+    DEFAULT_MODELS,
 )
 from repro.benchdata.records import ConvNetFeatures
 from repro.core.epoch import epoch_time, total_training_time
@@ -83,30 +90,49 @@ def _cmd_devices(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_campaign(args: argparse.Namespace) -> int:
+def _campaign_spec(args: argparse.Namespace) -> CampaignSpec:
+    """Build the engine spec an invocation describes (defaults mirror the
+    paper's per-scenario sweeps)."""
     device = get_device(args.device)
-    kwargs = dict(device=device, seed=args.seed)
-    if args.models:
-        kwargs["models"] = tuple(args.models)
-    if args.scenario == "inference":
-        if args.max_seconds is not None:
-            kwargs["max_seconds"] = args.max_seconds
-        data = inference_campaign(**kwargs)
-    elif args.scenario == "blocks":
-        from repro.benchdata import block_campaign
+    if args.scenario == "blocks":
+        # Block campaigns sweep the Table 2 catalogue, not the zoo.
+        models: tuple[str, ...] = ()
+    else:
+        models = tuple(args.models) if args.models else DEFAULT_MODELS
+    if args.scenario == "distributed":
+        batch_sizes: tuple[int, ...] = (16, 32, 64, 128, 256)
+        image_sizes: tuple[int, ...] = (64, 128, 192)
+    else:
+        batch_sizes = DEFAULT_BATCH_SIZES
+        image_sizes = DEFAULT_IMAGE_SIZES
+    return CampaignSpec(
+        scenario=args.scenario,
+        models=models,
+        device=device,
+        batch_sizes=batch_sizes,
+        image_sizes=image_sizes,
+        seed=args.seed,
+        max_seconds=args.max_seconds,
+        node_counts=tuple(args.nodes),
+    )
 
-        kwargs.pop("models", None)  # block campaigns use the catalogue
-        data = block_campaign(**kwargs)
-    elif args.scenario == "training":
-        data = training_campaign(**kwargs)
-    elif args.scenario == "distributed":
-        data = distributed_campaign(
-            node_counts=tuple(args.nodes), **kwargs
-        )
-    else:  # pragma: no cover - argparse restricts choices
-        raise AssertionError(args.scenario)
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    spec = _campaign_spec(args)
+    store = (
+        CampaignStore.open(args.store, spec, resume=args.resume)
+        if args.store
+        else None
+    )
+    try:
+        result = run_campaign(spec, workers=args.workers, store=store)
+    finally:
+        if store is not None:
+            store.close()
+    data = result.dataset
     data.to_json(args.out)
     print(f"wrote {len(data)} records to {args.out} ({data.summary()})")
+    print(result.stats.summary())
     return 0
 
 
@@ -218,6 +244,15 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=0)
     campaign.add_argument("--max-seconds", type=float, default=None,
                           help="skip configs slower than this estimate")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="process-pool size; 1 runs in-process "
+                               "(records are identical either way)")
+    campaign.add_argument("--store", default=None,
+                          help="directory for the resumable record store "
+                               "(JSONL + manifest)")
+    campaign.add_argument("--resume", action="store_true",
+                          help="continue an interrupted campaign from "
+                               "--store, skipping recorded points")
     campaign.add_argument("-o", "--out", required=True)
     campaign.set_defaults(func=_cmd_campaign)
 

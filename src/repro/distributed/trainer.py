@@ -38,7 +38,7 @@ from repro.hardware.executor import (
     _BWD_FLOPS_PARAM,
 )
 from repro.hardware.memory import check_fits
-from repro.hardware.noise import multiplicative_noise, noise_vector
+from repro.hardware.noise import lognormal_factor, lognormal_vector, point_seed
 from repro.hardware.roofline import CostProfile, layer_times
 
 
@@ -120,14 +120,14 @@ class DistributedTrainer:
         return base * (1.0 + 0.35 * np.log2(max(1, n)))
 
     def _noise(self, sigma: float, *identity: object) -> float:
-        return multiplicative_noise(
-            sigma,
+        seed = point_seed(
             self.seed,
             self.cluster.device.name,
             self.cluster.nodes,
             self.cluster.gpus_per_node,
             *identity,
         )
+        return lognormal_factor(sigma, seed)
 
     # -- timeline ------------------------------------------------------------
 
@@ -163,16 +163,13 @@ class DistributedTrainer:
             flops_factor=flops_factor,
             bytes_factor=_BWD_BYTES_FACTOR,
         )[::-1]
-        bwd_noise = noise_vector(
+        bwd_noise = lognormal_vector(
             self._sync_sigma(device.noise_sigma),
             bwd_layer_times.size,
-            self.seed,
-            device.name,
-            n_ranks,
-            name,
-            per_device_batch,
-            "bwd-layers",
-            rep,
+            point_seed(
+                self.seed, device.name, n_ranks, name, per_device_batch,
+                "bwd-layers", rep,
+            ),
         )
         bwd_layer_times = bwd_layer_times * bwd_noise
         completion = np.cumsum(bwd_layer_times)

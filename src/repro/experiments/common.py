@@ -4,10 +4,16 @@ Campaign datasets are deterministic in their arguments (the simulator's
 noise is seeded), so experiments share one cached copy per scenario instead
 of re-measuring — the same way the paper reuses one benchmark corpus across
 its evaluation sections.
+
+Set ``REPRO_CAMPAIGN_WORKERS=N`` to fan campaign generation out over N
+worker processes (the benchmark harness exposes this as
+``--campaign-workers``).  Records are byte-identical to serial runs, so
+every experiment artefact is unchanged — only the wall clock moves.
 """
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
 
 from repro.benchdata import (
@@ -45,26 +51,41 @@ NODE_COUNTS = (1, 2, 4, 8)
 GPUS_PER_NODE = 4
 
 
+def campaign_workers() -> int:
+    """Worker-process count for campaign generation (0/1 = in-process)."""
+    try:
+        return int(os.environ.get("REPRO_CAMPAIGN_WORKERS", "0"))
+    except ValueError:
+        return 0
+
+
 @lru_cache(maxsize=8)
 def gpu_inference_data() -> Dataset:
-    return inference_campaign(device=GPU, seed=SEED_INFERENCE_GPU)
+    return inference_campaign(
+        device=GPU, seed=SEED_INFERENCE_GPU, workers=campaign_workers()
+    )
 
 
 @lru_cache(maxsize=8)
 def cpu_inference_data() -> Dataset:
     return inference_campaign(
-        device=CPU, seed=SEED_INFERENCE_CPU, max_seconds=CPU_MAX_SECONDS
+        device=CPU, seed=SEED_INFERENCE_CPU, max_seconds=CPU_MAX_SECONDS,
+        workers=campaign_workers(),
     )
 
 
 @lru_cache(maxsize=8)
 def block_data() -> Dataset:
-    return block_campaign(device=GPU, seed=SEED_BLOCKS)
+    return block_campaign(
+        device=GPU, seed=SEED_BLOCKS, workers=campaign_workers()
+    )
 
 
 @lru_cache(maxsize=8)
 def training_data() -> Dataset:
-    return training_campaign(device=GPU, seed=SEED_TRAINING)
+    return training_campaign(
+        device=GPU, seed=SEED_TRAINING, workers=campaign_workers()
+    )
 
 
 @lru_cache(maxsize=8)
@@ -74,6 +95,7 @@ def distributed_data() -> Dataset:
         gpus_per_node=GPUS_PER_NODE,
         device=GPU,
         seed=SEED_DISTRIBUTED,
+        workers=campaign_workers(),
     )
 
 

@@ -63,6 +63,25 @@ class CostSummary:
     #: Total activation elements across all layers (memory-footprint input).
     total_output_elems: int
 
+    def at_batch(self, batch: int) -> "CostSummary":
+        """Metric vector for a mini-batch of ``batch`` samples.
+
+        The activation-linked metrics (FLOPs, Inputs, Outputs, activation
+        footprint) scale *exactly* linearly with the batch size — the
+        property ConvMeter's ``b·(c1·F + c2·I + c3·O)`` regression relies
+        on — while weights and layer count are batch-invariant.
+        """
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        return CostSummary(
+            flops=self.flops * batch,
+            conv_input_elems=self.conv_input_elems * batch,
+            conv_output_elems=self.conv_output_elems * batch,
+            weights=self.weights,
+            layers=self.layers,
+            total_output_elems=self.total_output_elems * batch,
+        )
+
 
 def node_cost(graph: ComputeGraph, node: Node) -> LayerCost:
     """Cost record for one node."""

@@ -15,7 +15,7 @@ import numpy as np
 from repro.graph.graph import ComputeGraph
 from repro.hardware.device import DeviceSpec
 from repro.hardware.memory import check_fits
-from repro.hardware.noise import multiplicative_noise
+from repro.hardware.noise import lognormal_factor, point_seed
 from repro.hardware.roofline import CostProfile, layer_times, profile_graph
 
 #: Backward FLOPs of a parametric layer ≈ 2× forward (input-gradient plus
@@ -66,9 +66,10 @@ class SimulatedExecutor:
         return profile_graph(graph)
 
     def _noise(self, *identity: object) -> float:
-        return multiplicative_noise(
-            self.device.noise_sigma, self.seed, self.device.name, *identity
-        )
+        # Seeded purely by the measurement identity (never call order), so
+        # parallel and resumed campaigns reproduce serial timings exactly.
+        seed = point_seed(self.seed, self.device.name, *identity)
+        return lognormal_factor(self.device.noise_sigma, seed)
 
     # -- noise-free components ---------------------------------------------
 

@@ -24,10 +24,10 @@ aggregate metrics — the realistic regime for ConvMeter's regression.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
 import numpy as np
 
+from repro.caching import CacheStats, LRUCache
 from repro.graph.graph import ComputeGraph
 from repro.graph.metrics import LayerCost, graph_costs
 from repro.hardware.device import DeviceSpec
@@ -190,13 +190,24 @@ def layer_times(
     return np.maximum(compute_t, memory_t) + device.launch_overhead
 
 
-@lru_cache(maxsize=4096)
-def _cached_profile(model: str, image_size: int) -> CostProfile:
-    from repro.zoo import build_model
-
-    return profile_graph(build_model(model, image_size))
+#: Campaign-scoped profile cache: explicitly bounded (a full sweep touches
+#: |models| × |image sizes| ≈ 100 entries; 512 leaves headroom for what-if
+#: sweeps without letting memory grow with campaign length) and observable,
+#: so campaigns can report the hit rate they achieved.
+PROFILE_CACHE: LRUCache[tuple[str, int], CostProfile] = LRUCache(maxsize=512)
 
 
 def zoo_profile(model: str, image_size: int) -> CostProfile:
     """Cached profile of a zoo model — the campaign's workhorse lookup."""
-    return _cached_profile(model, image_size)
+
+    def build() -> CostProfile:
+        from repro.zoo import build_model
+
+        return profile_graph(build_model(model, image_size))
+
+    return PROFILE_CACHE.get_or_compute((model, image_size), build)
+
+
+def profile_cache_stats() -> CacheStats:
+    """Cumulative hit/miss/eviction counters of the zoo profile cache."""
+    return PROFILE_CACHE.stats()

@@ -1,0 +1,152 @@
+"""Seeded property-style invariants of :mod:`repro.graph.metrics`.
+
+ConvMeter's regression rests on structural properties of the metric vector:
+activation-linked metrics (FLOPs, Inputs, Outputs) scale *exactly* linearly
+in the batch size, parameters are batch-invariant, and the per-layer conv
+flags the roofline classifier keys on (depthwise / pointwise / grouped)
+follow directly from the convolution hyperparameters.  Rather than checking
+these on a handful of zoo networks, we generate random architectures from
+:mod:`repro.graph.builder` under fixed seeds and assert the invariants hold
+on every one.
+"""
+
+import random
+
+import pytest
+
+from repro.benchdata.records import ConvNetFeatures
+from repro.graph.builder import GraphBuilder
+from repro.graph.layers import Conv2d
+from repro.graph.metrics import graph_costs, node_cost, summarize_costs
+from repro.hardware.roofline import profile_graph
+
+SEEDS = range(12)
+BATCHES = (2, 8, 37, 256)
+
+
+def random_graph(seed: int):
+    """A random but valid ConvNet: mixed dense/pointwise/grouped/depthwise
+    convolutions, pooling, and residual branches."""
+    rng = random.Random(seed)
+    b = GraphBuilder(f"rand{seed}")
+    size = rng.choice([16, 24, 32])
+    x = b.input(3, size, size)
+    x = b.conv_bn_act(x, rng.choice([8, 16]), kernel_size=3, padding=1)
+    for _ in range(rng.randint(3, 8)):
+        channels = b.channels(x)
+        roll = rng.random()
+        if roll < 0.30:
+            k = rng.choice([1, 3, 5])
+            x = b.conv_bn_act(
+                x, rng.choice([8, 16, 32]), kernel_size=k, padding=k // 2
+            )
+        elif roll < 0.50:
+            # Depthwise separable: depthwise 3x3 then pointwise 1x1.
+            x = b.conv_bn_act(
+                x, channels, kernel_size=3, padding=1, groups=channels
+            )
+            x = b.conv_bn_act(x, rng.choice([8, 16, 32]), kernel_size=1)
+        elif roll < 0.65:
+            # Grouped conv; channel palette {8, 16, 32} divides by 2 and 4.
+            x = b.conv_bn_act(
+                x, channels, kernel_size=3, padding=1,
+                groups=rng.choice([2, 4]),
+            )
+        elif roll < 0.80 and (b.shape(x).height or 0) >= 4:
+            x = b.maxpool(x, 2, stride=2)
+        else:
+            y = b.conv_bn_act(x, channels, kernel_size=3, padding=1)
+            x = b.add(x, y)
+    x = b.classifier(x, rng.choice([10, 100]))
+    return b.finish()
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def graph(request):
+    return random_graph(request.param)
+
+
+class TestBatchScaling:
+    def test_activation_metrics_scale_exactly_linearly(self, graph):
+        base = summarize_costs(graph)
+        for batch in BATCHES:
+            scaled = base.at_batch(batch)
+            assert scaled.flops == batch * base.flops
+            assert scaled.conv_input_elems == batch * base.conv_input_elems
+            assert (
+                scaled.conv_output_elems == batch * base.conv_output_elems
+            )
+            assert scaled.total_output_elems == (
+                batch * base.total_output_elems
+            )
+
+    def test_params_and_layer_count_are_batch_invariant(self, graph):
+        base = summarize_costs(graph)
+        for batch in BATCHES:
+            scaled = base.at_batch(batch)
+            assert scaled.weights == base.weights
+            assert scaled.layers == base.layers
+
+    def test_batch_one_is_identity(self, graph):
+        base = summarize_costs(graph)
+        assert base.at_batch(1) == base
+
+    def test_invalid_batch_rejected(self, graph):
+        with pytest.raises(ValueError, match="batch"):
+            summarize_costs(graph).at_batch(0)
+
+
+class TestConvFlags:
+    def test_flags_follow_conv_hyperparameters(self, graph):
+        for node in graph:
+            layer = node.layer
+            if not isinstance(layer, Conv2d):
+                continue
+            cost = node_cost(graph, node)
+            assert cost.is_conv
+            assert cost.conv_groups == layer.groups
+            expect_depthwise = (
+                layer.groups == layer.in_channels and layer.groups > 1
+            )
+            assert cost.is_depthwise == expect_depthwise
+            k = layer.kernel_size
+            kh, kw = k if isinstance(k, tuple) else (k, k)
+            assert cost.is_pointwise == (kh == 1 and kw == 1)
+
+    def test_non_conv_layers_have_neutral_flags(self, graph):
+        for cost in graph_costs(graph):
+            if cost.is_conv:
+                continue
+            assert cost.conv_groups == 1
+            assert not cost.is_depthwise
+            assert not cost.is_pointwise
+
+
+class TestProfileConsistency:
+    """The vectorised CostProfile and the campaign feature vector must agree
+    with the scalar per-layer accounting on arbitrary graphs."""
+
+    def test_profile_totals_match_summary(self, graph):
+        summary = summarize_costs(graph)
+        profile = profile_graph(graph)
+        assert profile.total_flops == summary.flops
+        assert profile.conv_input_elems == summary.conv_input_elems
+        assert profile.conv_output_elems == summary.conv_output_elems
+        assert profile.total_params == summary.weights
+        assert profile.parametric_layers == summary.layers
+
+    def test_campaign_features_match_summary(self, graph):
+        summary = summarize_costs(graph)
+        features = ConvNetFeatures.from_profile(profile_graph(graph))
+        assert features.flops == summary.flops
+        assert features.inputs == summary.conv_input_elems
+        assert features.outputs == summary.conv_output_elems
+        assert features.weights == summary.weights
+        assert features.layers == summary.layers
+
+    def test_costs_are_non_negative(self, graph):
+        for cost in graph_costs(graph):
+            assert cost.flops >= 0
+            assert cost.input_elems > 0
+            assert cost.output_elems > 0
+            assert cost.params >= 0

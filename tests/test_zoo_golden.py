@@ -1,0 +1,62 @@
+"""Golden-snapshot test of the zoo metric vectors.
+
+ConvMeter regresses runtime on each network's metric vector (FLOPs, Inputs,
+Outputs, Weights, Layers), so a cache or profiling refactor that silently
+shifts any of these corrupts every downstream fit.  The expected values for
+all registry models at 224 px are checked in under ``tests/data``; exact
+integer equality is required.
+
+To regenerate after an *intentional* architecture change::
+
+    PYTHONPATH=src python tests/test_zoo_golden.py > tests/data/zoo_golden.json
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.graph.metrics import summarize_costs
+from repro.zoo import available_models, build_model, get_entry
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "zoo_golden.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+
+def _metric_row(name: str) -> dict:
+    size = max(224, get_entry(name).min_image_size)
+    s = summarize_costs(build_model(name, size))
+    return {
+        "image_size": size,
+        "flops": s.flops,
+        "conv_input_elems": s.conv_input_elems,
+        "conv_output_elems": s.conv_output_elems,
+        "weights": s.weights,
+        "layers": s.layers,
+    }
+
+
+def test_every_registry_model_has_a_golden_entry():
+    assert sorted(GOLDEN) == available_models(), (
+        "zoo registry and golden snapshot diverge; regenerate "
+        "tests/data/zoo_golden.json if the zoo intentionally changed"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_metric_vector_matches_golden(name):
+    assert _metric_row(name) == GOLDEN[name], (
+        f"{name}: metric vector moved — this silently changes every "
+        "feature ConvMeter regresses on; regenerate the snapshot only "
+        "for an intentional architecture change"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - snapshot regeneration
+    print(
+        json.dumps(
+            {name: _metric_row(name) for name in available_models()},
+            indent=2,
+            sort_keys=True,
+        )
+    )
