@@ -1,5 +1,6 @@
 """Reporting utilities: tables, scatter summaries, coefficient
-interpretation, and the related-work matrix."""
+interpretation, the related-work matrix — and the graph IR verifier
+(:mod:`repro.analysis.verify`)."""
 
 from repro.analysis.tables import format_table, format_series
 from repro.analysis.scatter import format_scatter, scatter_bins
@@ -9,8 +10,16 @@ from repro.analysis.coefficients import (
     sanity_check,
 )
 from repro.analysis.related_work import RELATED_WORK, MethodCapabilities
+from repro.analysis.verify import (
+    GraphVerificationError,
+    verify_graph,
+    verify_model,
+)
 
 __all__ = [
+    "GraphVerificationError",
+    "verify_graph",
+    "verify_model",
     "format_table",
     "format_series",
     "format_scatter",

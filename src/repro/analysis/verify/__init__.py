@@ -1,0 +1,32 @@
+"""Graph IR verifier: rule-based static checks over ConvNet graphs.
+
+ConvMeter's predictions are linear functions of per-layer FLOPs / Inputs /
+Outputs / Weights, so a silently malformed graph corrupts every downstream
+regression.  This package checks graphs *before* they are measured and
+reports findings as structured :class:`repro.diagnostics.Diagnostic`
+records (rule id, severity, layer path, message, fix hint).
+
+Use :func:`verify_graph` on a built :class:`~repro.graph.graph.ComputeGraph`
+(optionally cross-checking an externally cached metric summary), or
+:func:`verify_model` to build-and-verify a zoo architecture.  The rule
+catalogue lives in ``docs/static-analysis.md``.
+"""
+
+from repro.analysis.verify.rules import (
+    IR_RULES,
+    GraphVerificationError,
+    VerifyRule,
+    verify_graph,
+    verify_model,
+)
+from repro.diagnostics import Diagnostic, Severity
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "GraphVerificationError",
+    "VerifyRule",
+    "IR_RULES",
+    "verify_graph",
+    "verify_model",
+]

@@ -1,0 +1,494 @@
+"""The IR verification rules.
+
+Each rule is a pure function ``(graph, summary) -> Iterable[Diagnostic]``
+registered in :data:`IR_RULES`.  Rules re-derive every property they check
+from the layer definitions themselves rather than trusting the values the
+graph (or a cached profile) stores — the point of the verifier is to catch
+exactly the case where stored and recomputed numbers diverge.
+
+Rule ids are stable API (tests, suppression lists, and CI grep for them):
+
+========  =========  ====================================================
+id        severity   checks
+========  =========  ====================================================
+IR001     ERROR      stored output shapes match re-run shape inference
+IR002     ERROR/WARN dead layers (unconsumed non-sink nodes); dangling
+                     ``Input`` placeholders are WARN
+IR003     ERROR      node order is topological: every edge points backward
+                     in insertion order (a forward edge is how a cycle
+                     manifests in this IR), no duplicate/unknown names
+IR004     ERROR      metric accounting: graph-level F/I/O/W/L equal the
+                     sum of independently recomputed per-layer values
+IR005     ERROR/WARN parameter sanity: positive dims, valid dropout p,
+                     group divisibility; stride>kernel without padding
+                     (skipped pixels) is WARN
+IR006     ERROR      batch scaling: F/I/O/activations linear in batch,
+                     Weights/Layers batch-invariant
+========  =========  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.diagnostics import Diagnostic, Severity, sort_diagnostics
+from repro.graph.graph import ComputeGraph, Node
+from repro.graph.layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Input,
+    Linear,
+    MaxPool2d,
+)
+from repro.graph.metrics import CostSummary, summarize_costs
+
+
+class GraphVerificationError(ValueError):
+    """A graph failed verification with ERROR-severity diagnostics."""
+
+    def __init__(self, diagnostics: Sequence[Diagnostic]) -> None:
+        self.diagnostics = list(diagnostics)
+        errors = [d for d in self.diagnostics if d.severity is Severity.ERROR]
+        lines = "\n".join(d.render() for d in sort_diagnostics(errors))
+        super().__init__(
+            f"graph verification failed with {len(errors)} error(s):\n{lines}"
+        )
+
+
+def _loc(graph: ComputeGraph, node: Node | None = None) -> str:
+    return graph.name if node is None else f"{graph.name}:{node.name}"
+
+
+def _pair(v: int | tuple[int, int]) -> tuple[int, int]:
+    return v if isinstance(v, tuple) else (v, v)
+
+
+# -- IR001: shape-inference consistency --------------------------------------
+
+
+def check_shapes(
+    graph: ComputeGraph, summary: CostSummary | None
+) -> Iterator[Diagnostic]:
+    index = {n.name: i for i, n in enumerate(graph)}
+    for node in graph:
+        # A forward edge (IR003's finding) makes input_shapes meaningless;
+        # don't cascade a second diagnostic onto the same defect.
+        if any(
+            p not in index or index[p] >= index[node.name]
+            for p in node.inputs
+        ):
+            continue
+        try:
+            inferred = node.layer.infer_shape(graph.input_shapes(node))
+        except (ValueError, TypeError) as exc:
+            yield Diagnostic(
+                "IR001",
+                Severity.ERROR,
+                _loc(graph, node),
+                f"shape inference failed for "
+                f"{type(node.layer).__name__}: {exc}",
+                hint="the layer's parameters are inconsistent with its "
+                "input shapes",
+            )
+            continue
+        if inferred != node.output_shape:
+            yield Diagnostic(
+                "IR001",
+                Severity.ERROR,
+                _loc(graph, node),
+                f"stored output shape {node.output_shape} does not match "
+                f"re-inferred {inferred}",
+                hint="rebuild the graph; stored shapes must come from "
+                "Layer.infer_shape, never be hand-edited",
+            )
+
+
+# -- IR002: dead layers and dangling inputs ----------------------------------
+
+
+def check_dead_layers(
+    graph: ComputeGraph, summary: CostSummary | None
+) -> Iterator[Diagnostic]:
+    if len(graph) == 0:
+        yield Diagnostic(
+            "IR002", Severity.ERROR, _loc(graph), "graph has no nodes"
+        )
+        return
+    consumed = {parent for n in graph for parent in n.inputs}
+    sink = graph.nodes[-1]  # by convention the last topological node
+    for node in graph:
+        if node.name in consumed or node.name == sink.name:
+            continue
+        if isinstance(node.layer, Input):
+            yield Diagnostic(
+                "IR002",
+                Severity.WARN,
+                _loc(graph, node),
+                "dangling Input placeholder: no layer consumes it",
+                hint="remove the unused input or wire it into the graph",
+            )
+        else:
+            yield Diagnostic(
+                "IR002",
+                Severity.ERROR,
+                _loc(graph, node),
+                "dead layer: output is never consumed and it is not the "
+                "graph sink",
+                hint="its FLOPs/Weights still count toward the metric "
+                "vector, skewing every fitted coefficient; drop the edge "
+                "bug or the layer",
+            )
+
+
+# -- IR003: topological order / cycle detection -------------------------------
+
+
+def check_topology(
+    graph: ComputeGraph, summary: CostSummary | None
+) -> Iterator[Diagnostic]:
+    index: dict[str, int] = {}
+    for i, node in enumerate(graph):
+        if node.name in index:
+            yield Diagnostic(
+                "IR003",
+                Severity.ERROR,
+                _loc(graph, node),
+                f"duplicate node name {node.name!r} in topological order",
+            )
+        index[node.name] = i
+    for i, node in enumerate(graph):
+        for parent in node.inputs:
+            if parent not in index:
+                yield Diagnostic(
+                    "IR003",
+                    Severity.ERROR,
+                    _loc(graph, node),
+                    f"edge references unknown node {parent!r}",
+                )
+            elif index[parent] >= i:
+                yield Diagnostic(
+                    "IR003",
+                    Severity.ERROR,
+                    _loc(graph, node),
+                    f"edge from {parent!r} points forward in the "
+                    "topological order (back-edge/cycle)",
+                    hint="nodes must be inserted after all of their "
+                    "inputs; a cycle cannot be scheduled or costed",
+                )
+
+
+# -- IR004: metric-accounting invariants --------------------------------------
+
+
+def _recompute_summary(graph: ComputeGraph) -> CostSummary:
+    """Re-derive the metric vector straight from the layer API.
+
+    Deliberately does *not* call :func:`repro.graph.metrics.graph_costs`:
+    this loop is the independent second opinion that catches double counting
+    (for example a fused block contributing its FLOPs twice) in the
+    production accounting path or in a cached profile.
+    """
+    flops = conv_in = conv_out = weights = layers = total_out = 0
+    for node in graph:
+        layer = node.layer
+        weights += layer.param_count()
+        if layer.has_params:
+            layers += 1
+        if isinstance(layer, Input):
+            continue
+        in_shapes = graph.input_shapes(node)
+        flops += layer.flops(in_shapes, node.output_shape)
+        total_out += node.output_shape.numel
+        if layer.is_conv:
+            conv_in += sum(s.numel for s in in_shapes)
+            conv_out += node.output_shape.numel
+    return CostSummary(
+        flops=flops,
+        conv_input_elems=conv_in,
+        conv_output_elems=conv_out,
+        weights=weights,
+        layers=layers,
+        total_output_elems=total_out,
+    )
+
+
+_METRIC_FIELDS = (
+    ("flops", "FLOPs (F)"),
+    ("conv_input_elems", "Inputs (I)"),
+    ("conv_output_elems", "Outputs (O)"),
+    ("weights", "Weights (W)"),
+    ("layers", "Layers (L)"),
+    ("total_output_elems", "activation footprint"),
+)
+
+
+def _topology_broken(graph: ComputeGraph) -> bool:
+    """True when edges reference unknown or later nodes — cost accounting
+    is meaningless then, and IR003 already reports the root cause."""
+    index = {n.name: i for i, n in enumerate(graph)}
+    return any(
+        p not in index or index[p] >= index[n.name]
+        for n in graph
+        for p in n.inputs
+    )
+
+
+def check_metric_accounting(
+    graph: ComputeGraph, summary: CostSummary | None
+) -> Iterator[Diagnostic]:
+    if _topology_broken(graph):
+        return
+    recomputed = _recompute_summary(graph)
+    candidates = [("summarize_costs", summarize_costs(graph))]
+    if summary is not None:
+        candidates.append(("supplied summary", summary))
+    for source, candidate in candidates:
+        for attr, label in _METRIC_FIELDS:
+            got, want = getattr(candidate, attr), getattr(recomputed, attr)
+            if got != want:
+                yield Diagnostic(
+                    "IR004",
+                    Severity.ERROR,
+                    _loc(graph),
+                    f"{label} from {source} is {got}, but independent "
+                    f"per-layer recomputation gives {want}",
+                    hint="a layer is double-counted or dropped "
+                    "(fused-block accounting is the usual culprit)",
+                )
+
+
+# -- IR005: parameter sanity ---------------------------------------------------
+
+
+def _check_window(
+    graph: ComputeGraph, node: Node, kernel, stride, padding, dilation: int
+) -> Iterator[Diagnostic]:
+    kh, kw = _pair(kernel)
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    name = type(node.layer).__name__
+    if kh <= 0 or kw <= 0 or sh <= 0 or sw <= 0:
+        yield Diagnostic(
+            "IR005",
+            Severity.ERROR,
+            _loc(graph, node),
+            f"{name} has non-positive kernel/stride "
+            f"(kernel={kh}x{kw}, stride={sh}x{sw})",
+        )
+        return
+    if ph < 0 or pw < 0:
+        yield Diagnostic(
+            "IR005",
+            Severity.ERROR,
+            _loc(graph, node),
+            f"{name} has negative padding ({ph}, {pw})",
+        )
+    if dilation < 1:
+        yield Diagnostic(
+            "IR005",
+            Severity.ERROR,
+            _loc(graph, node),
+            f"{name} has dilation {dilation} < 1",
+        )
+    if (sh > kh * dilation and ph == 0) or (sw > kw * dilation and pw == 0):
+        yield Diagnostic(
+            "IR005",
+            Severity.WARN,
+            _loc(graph, node),
+            f"{name} stride ({sh}x{sw}) exceeds its receptive window "
+            f"({kh}x{kw}, dilation {dilation}) with no padding: input "
+            "pixels are skipped entirely",
+            hint="if intentional, suppress IR005 for this graph; "
+            "otherwise check stride/kernel",
+        )
+
+
+def check_parameter_sanity(
+    graph: ComputeGraph, summary: CostSummary | None
+) -> Iterator[Diagnostic]:
+    for node in graph:
+        layer = node.layer
+        if isinstance(layer, Conv2d):
+            if layer.in_channels <= 0 or layer.out_channels <= 0:
+                yield Diagnostic(
+                    "IR005",
+                    Severity.ERROR,
+                    _loc(graph, node),
+                    f"Conv2d has non-positive channels "
+                    f"(in={layer.in_channels}, out={layer.out_channels})",
+                )
+                continue
+            if layer.groups < 1 or (
+                layer.in_channels % layer.groups
+                or layer.out_channels % layer.groups
+            ):
+                yield Diagnostic(
+                    "IR005",
+                    Severity.ERROR,
+                    _loc(graph, node),
+                    f"Conv2d groups={layer.groups} does not divide "
+                    f"in_channels={layer.in_channels} and "
+                    f"out_channels={layer.out_channels}",
+                    hint="depthwise convolutions need "
+                    "groups == in_channels",
+                )
+            yield from _check_window(
+                graph, node, layer.kernel_size, layer.stride,
+                layer.padding, layer.dilation,
+            )
+        elif isinstance(layer, (MaxPool2d, AvgPool2d)):
+            stride = (
+                layer.stride if layer.stride is not None else layer.kernel_size
+            )
+            yield from _check_window(
+                graph, node, layer.kernel_size, stride, layer.padding, 1
+            )
+        elif isinstance(layer, Linear):
+            if layer.in_features <= 0 or layer.out_features <= 0:
+                yield Diagnostic(
+                    "IR005",
+                    Severity.ERROR,
+                    _loc(graph, node),
+                    f"Linear has non-positive features "
+                    f"(in={layer.in_features}, out={layer.out_features})",
+                )
+        elif isinstance(layer, Dropout):
+            if not 0.0 <= layer.p < 1.0:
+                yield Diagnostic(
+                    "IR005",
+                    Severity.ERROR,
+                    _loc(graph, node),
+                    f"Dropout p={layer.p} outside [0, 1)",
+                    hint="p=1 would zero every activation; p<0 is "
+                    "meaningless",
+                )
+
+
+# -- IR006: batch-scaling coherence -------------------------------------------
+
+#: Batch sizes probed for linearity; co-prime so a summary that scales with
+#: e.g. batch² or rounds to powers of two cannot slip through.
+_PROBE_BATCHES = (2, 3, 7)
+
+
+def check_batch_scaling(
+    graph: ComputeGraph, summary: CostSummary | None
+) -> Iterator[Diagnostic]:
+    if summary is None and _topology_broken(graph):
+        return
+    base = summary if summary is not None else summarize_costs(graph)
+    linear = (
+        "flops", "conv_input_elems", "conv_output_elems",
+        "total_output_elems",
+    )
+    invariant = ("weights", "layers")
+    for batch in _PROBE_BATCHES:
+        try:
+            scaled = base.at_batch(batch)
+        except (ValueError, TypeError) as exc:
+            yield Diagnostic(
+                "IR006",
+                Severity.ERROR,
+                _loc(graph),
+                f"at_batch({batch}) raised: {exc}",
+            )
+            return
+        for attr in linear:
+            if getattr(scaled, attr) != batch * getattr(base, attr):
+                yield Diagnostic(
+                    "IR006",
+                    Severity.ERROR,
+                    _loc(graph),
+                    f"{attr} is not linear in the batch size: "
+                    f"at_batch({batch}) gives {getattr(scaled, attr)}, "
+                    f"expected {batch * getattr(base, attr)}",
+                    hint="ConvMeter's b·(c1·F + c2·I + c3·O) regression "
+                    "requires exact linearity",
+                )
+        for attr in invariant:
+            if getattr(scaled, attr) != getattr(base, attr):
+                yield Diagnostic(
+                    "IR006",
+                    Severity.ERROR,
+                    _loc(graph),
+                    f"{attr} changed under batching: at_batch({batch}) "
+                    f"gives {getattr(scaled, attr)}, expected the "
+                    f"batch-invariant {getattr(base, attr)}",
+                )
+
+
+# -- registry and entry points -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VerifyRule:
+    """Registry record of one IR rule (the docs catalogue renders these)."""
+
+    rule: str
+    title: str
+    check: Callable[
+        [ComputeGraph, CostSummary | None], Iterable[Diagnostic]
+    ]
+
+
+IR_RULES: tuple[VerifyRule, ...] = (
+    VerifyRule("IR001", "shape-inference consistency", check_shapes),
+    VerifyRule("IR002", "dead layers / dangling inputs", check_dead_layers),
+    VerifyRule("IR003", "topological order and cycles", check_topology),
+    VerifyRule("IR004", "metric-accounting invariants",
+               check_metric_accounting),
+    VerifyRule("IR005", "layer parameter sanity", check_parameter_sanity),
+    VerifyRule("IR006", "batch-scaling coherence", check_batch_scaling),
+)
+
+
+def verify_graph(
+    graph: ComputeGraph,
+    summary: CostSummary | None = None,
+    ignore: Iterable[str] = (),
+) -> list[Diagnostic]:
+    """Run every IR rule over a graph; most severe findings first.
+
+    ``summary`` optionally supplies an externally cached metric summary
+    (for example derived from a :class:`~repro.hardware.roofline.
+    CostProfile`) to cross-check against fresh recomputation — the defence
+    against stale or corrupted caches.  ``ignore`` suppresses whole rule
+    ids, the verifier's suppression mechanism.
+    """
+    skip = frozenset(ignore)
+    found: list[Diagnostic] = []
+    for rule in IR_RULES:
+        if rule.rule in skip:
+            continue
+        found.extend(rule.check(graph, summary))
+    return sort_diagnostics(found)
+
+
+def verify_model(
+    name: str,
+    image_size: int = 224,
+    ignore: Iterable[str] = (),
+) -> list[Diagnostic]:
+    """Build a zoo architecture and verify it.
+
+    A build that raises is itself reported as an ``IR001`` ERROR (shape
+    inference is what fails when an architecture definition is broken), so
+    callers always get diagnostics rather than exceptions.
+    """
+    from repro.zoo import build_model, get_entry
+
+    try:
+        image_size = max(image_size, get_entry(name).min_image_size)
+        graph = build_model(name, image_size)
+    except (ValueError, TypeError, KeyError) as exc:
+        return [
+            Diagnostic(
+                "IR001",
+                Severity.ERROR,
+                f"{name}@{image_size}",
+                f"graph construction failed: {exc}",
+            )
+        ]
+    return verify_graph(graph, ignore=ignore)

@@ -14,12 +14,14 @@ from repro.benchdata.records import (
 )
 from repro.benchdata.cost import CampaignCost, campaign_cost
 from repro.benchdata.engine import (
+    VERIFY_MODES,
     CampaignResult,
     CampaignSpec,
     CampaignStats,
     SweepPoint,
     enumerate_points,
     run_campaign,
+    verify_campaign_graphs,
 )
 from repro.benchdata.store import CampaignStore, StoreMismatch
 from repro.benchdata.campaign import (
@@ -45,8 +47,10 @@ __all__ = [
     "CampaignStore",
     "StoreMismatch",
     "SweepPoint",
+    "VERIFY_MODES",
     "enumerate_points",
     "run_campaign",
+    "verify_campaign_graphs",
     "DEFAULT_BATCH_SIZES",
     "DEFAULT_IMAGE_SIZES",
     "DEFAULT_MODELS",

@@ -22,6 +22,11 @@ sweep into an explicit point list and executes it through one engine:
   attached, each point's records (including the empty record lists of
   memory-gated points) are appended to a JSONL log as they complete;
   rerunning skips everything already on disk and appends only the rest.
+* **Verification** — before measuring, :func:`run_campaign` runs the graph
+  IR verifier (:mod:`repro.analysis.verify`) over every unique graph the
+  sweep will touch.  ``verify="strict"`` refuses to measure a graph with
+  ERROR diagnostics; the default ``"warn"`` measures anyway but emits a
+  warning and records the error count in :class:`CampaignStats`.
 """
 
 from __future__ import annotations
@@ -29,12 +34,14 @@ from __future__ import annotations
 import hashlib
 import json
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from repro.benchdata.records import ConvNetFeatures, Dataset, TimingRecord
 from repro.caching import CacheStats, LRUCache
+from repro.diagnostics import Diagnostic, Severity, sort_diagnostics
 from repro.distributed.cluster import ClusterSpec
 from repro.distributed.trainer import DistributedTrainer
 from repro.hardware.device import DeviceSpec
@@ -191,6 +198,83 @@ def enumerate_points(spec: CampaignSpec) -> list[SweepPoint]:
     return points
 
 
+# -- verify-before-measure ---------------------------------------------------
+
+VERIFY_MODES = ("off", "warn", "strict")
+
+#: Cached verification verdicts, keyed like the profile caches so a sweep
+#: verifies each unique graph once per process, not once per point.
+VERIFY_CACHE: LRUCache[tuple[str, str, int], tuple[Diagnostic, ...]] = (
+    LRUCache(maxsize=512)
+)
+
+
+def _verify_graph_cached(
+    kind: str, name: str, image_size: int
+) -> tuple[Diagnostic, ...]:
+    def build() -> tuple[Diagnostic, ...]:
+        # Imported lazily: repro.analysis pulls in repro.core, which imports
+        # this package's records module — a cycle at module-import time.
+        from repro.analysis.verify import verify_graph
+
+        if kind == "block":
+            for block in BLOCK_CATALOGUE:
+                if block.name == name:
+                    graph = build_block(block, image_size)
+                    break
+            else:
+                raise KeyError(f"unknown block {name!r}")
+        else:
+            from repro.zoo import build_model
+
+            graph = build_model(name, image_size)
+        return tuple(verify_graph(graph))
+
+    return VERIFY_CACHE.get_or_compute((kind, name, image_size), build)
+
+
+def verify_campaign_graphs(spec: CampaignSpec) -> list[Diagnostic]:
+    """Verify every unique graph a campaign will measure.
+
+    The verdicts are cached per ``(model, image_size)``, mirroring the
+    profile caches, so the verification cost is one graph build per unique
+    configuration — negligible next to the sweep itself.
+    """
+    kind = "block" if spec.scenario == "blocks" else "model"
+    unique: dict[tuple[str, int], None] = {}
+    for point in enumerate_points(spec):
+        unique.setdefault((point.model, point.image_size), None)
+    found: list[Diagnostic] = []
+    for name, image_size in unique:
+        found.extend(_verify_graph_cached(kind, name, image_size))
+    return sort_diagnostics(found)
+
+
+def _run_verification(spec: CampaignSpec, verify: str) -> int:
+    """Apply the requested verify mode; returns the ERROR count."""
+    if verify not in VERIFY_MODES:
+        raise ValueError(
+            f"unknown verify mode {verify!r}; one of {VERIFY_MODES}"
+        )
+    if verify == "off":
+        return 0
+    diags = verify_campaign_graphs(spec)
+    errors = [d for d in diags if d.severity is Severity.ERROR]
+    if errors:
+        if verify == "strict":
+            from repro.analysis.verify import GraphVerificationError
+
+            raise GraphVerificationError(diags)
+        warnings.warn(
+            f"campaign {spec.scenario!r} graphs failed verification with "
+            f"{len(errors)} ERROR diagnostic(s); measuring anyway because "
+            f"verify='warn'. First: {errors[0].render()}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return len(errors)
+
+
 def execute_point(spec: CampaignSpec, point: SweepPoint) -> list[TimingRecord]:
     """Measure one sweep point; empty list when gated out (OOM / budget).
 
@@ -324,6 +408,9 @@ class CampaignStats:
     n_records: int
     elapsed_seconds: float
     cache: CacheStats = field(default_factory=CacheStats)
+    #: ERROR diagnostics from pre-measurement graph verification (always 0
+    #: under ``verify="strict"``, which refuses to measure instead).
+    n_verify_errors: int = 0
 
     @property
     def points_per_second(self) -> float:
@@ -353,6 +440,7 @@ class CampaignStats:
             "cache_hits": self.cache.hits,
             "cache_misses": self.cache.misses,
             "cache_hit_rate": self.cache.hit_rate,
+            "n_verify_errors": self.n_verify_errors,
         }
 
 
@@ -367,6 +455,7 @@ def run_campaign(
     workers: int = 0,
     store: "CampaignStore | None" = None,
     progress: Callable[[int, int], None] | None = None,
+    verify: str = "warn",
 ) -> CampaignResult:
     """Execute a campaign and assemble its dataset in enumeration order.
 
@@ -376,7 +465,14 @@ def run_campaign(
     and new results are appended as they complete, making interrupted
     campaigns resumable at point granularity.  ``progress(done, total)`` is
     invoked after each newly measured point.
+
+    ``verify`` controls pre-measurement graph verification: ``"warn"``
+    (default) measures despite ERROR diagnostics but warns and counts them
+    in the stats, ``"strict"`` raises
+    :class:`~repro.analysis.verify.GraphVerificationError` instead of
+    producing subtly wrong numbers, ``"off"`` skips verification.
     """
+    n_verify_errors = _run_verification(spec, verify)
     points = enumerate_points(spec)
     restored = store.restored_points() if store is not None else {}
     pending = [
@@ -429,6 +525,7 @@ def run_campaign(
         n_records=len(dataset),
         elapsed_seconds=elapsed,
         cache=cache_delta,
+        n_verify_errors=n_verify_errors,
     )
     if store is not None:
         store.finalize(stats)

@@ -3,6 +3,8 @@
 Mirrors how the paper's tooling would be used operationally::
 
     repro models                               # list the zoo
+    repro verify --all-zoo                     # static graph IR checks
+    repro lint src/repro                       # determinism-hazard linter
     repro campaign --scenario inference -o data.json
     repro campaign --scenario inference --workers 8 \
                    --store runs/gpu --resume -o data.json
@@ -119,13 +121,16 @@ def _campaign_spec(args: argparse.Namespace) -> CampaignSpec:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     spec = _campaign_spec(args)
+    verify = "strict" if args.strict else ("off" if args.no_verify else "warn")
     store = (
         CampaignStore.open(args.store, spec, resume=args.resume)
         if args.store
         else None
     )
     try:
-        result = run_campaign(spec, workers=args.workers, store=store)
+        result = run_campaign(
+            spec, workers=args.workers, store=store, verify=verify
+        )
     finally:
         if store is not None:
             store.close()
@@ -184,6 +189,38 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.analysis.verify import verify_model
+    from repro.diagnostics import has_errors, render_json, render_text
+
+    if args.all_zoo:
+        names = available_models()
+    elif args.models:
+        names = list(args.models)
+    else:
+        raise SystemExit("verify: name at least one model or pass --all-zoo")
+    diags = []
+    for name in names:
+        diags.extend(verify_model(name, args.image, ignore=args.ignore))
+    if args.format == "json":
+        print(render_json(diags, len(names), "model"))
+    else:
+        print(render_text(diags, len(names), "model", quiet=args.quiet))
+    return 1 if has_errors(diags) else 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.diagnostics import has_errors, render_json, render_text
+    from repro.lint import lint_paths
+
+    diags, n_files = lint_paths(args.paths)
+    if args.format == "json":
+        print(render_json(diags, n_files, "file"))
+    else:
+        print(render_text(diags, n_files, "file", quiet=args.quiet))
+    return 1 if has_errors(diags) else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.model_report import block_report
     from repro.zoo import build_model
@@ -229,6 +266,45 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_devices
     )
 
+    _EXIT_CODES = (
+        "exit codes: 0 = clean (warnings allowed), "
+        "1 = ERROR diagnostics found, 2 = usage error"
+    )
+    verify = sub.add_parser(
+        "verify",
+        help="statically verify graph IRs (shapes, topology, metric "
+             "accounting)",
+        epilog=_EXIT_CODES,
+    )
+    verify.add_argument("models", nargs="*",
+                        help="zoo model names to verify")
+    verify.add_argument("--all-zoo", action="store_true",
+                        help="verify every registered zoo architecture")
+    verify.add_argument("--image", type=int, default=224,
+                        help="square image size (clamped up to each "
+                             "model's minimum)")
+    verify.add_argument("--ignore", nargs="*", default=(), metavar="RULE",
+                        help="rule ids to suppress (e.g. IR005)")
+    verify.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    verify.add_argument("--quiet", action="store_true",
+                        help="print only the one-line summary")
+    verify.set_defaults(func=_cmd_verify)
+
+    lint = sub.add_parser(
+        "lint",
+        help="lint code for determinism hazards (unseeded RNGs, "
+             "unbounded caches, wall-clock reads)",
+        epilog=_EXIT_CODES,
+    )
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directories to lint "
+                           "(default: src/repro)")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--quiet", action="store_true",
+                      help="print only the one-line summary")
+    lint.set_defaults(func=_cmd_lint)
+
     campaign = sub.add_parser("campaign", help="run a benchmark campaign")
     campaign.add_argument(
         "--scenario",
@@ -253,6 +329,12 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--resume", action="store_true",
                           help="continue an interrupted campaign from "
                                "--store, skipping recorded points")
+    campaign.add_argument("--strict", action="store_true",
+                          help="refuse to measure any graph with ERROR "
+                               "verification diagnostics (default: warn "
+                               "and measure anyway)")
+    campaign.add_argument("--no-verify", action="store_true",
+                          help="skip pre-measurement graph verification")
     campaign.add_argument("-o", "--out", required=True)
     campaign.set_defaults(func=_cmd_campaign)
 

@@ -14,7 +14,6 @@ every experiment artefact is unchanged — only the wall clock moves.
 from __future__ import annotations
 
 import os
-from functools import lru_cache
 
 from repro.benchdata import (
     Dataset,
@@ -23,6 +22,7 @@ from repro.benchdata import (
     inference_campaign,
     training_campaign,
 )
+from repro.caching import LRUCache
 from repro.hardware.device import (
     A100_80GB,
     XEON_GOLD_5318Y_CORE,
@@ -59,43 +59,58 @@ def campaign_workers() -> int:
         return 0
 
 
-@lru_cache(maxsize=8)
+#: One cached dataset per scenario (the five functions below), bounded and
+#: observable — `repro lint` bans unbounded ``functools.lru_cache`` repo-wide.
+DATASET_CACHE: LRUCache[str, Dataset] = LRUCache(maxsize=8)
+
+
 def gpu_inference_data() -> Dataset:
-    return inference_campaign(
-        device=GPU, seed=SEED_INFERENCE_GPU, workers=campaign_workers()
+    return DATASET_CACHE.get_or_compute(
+        "gpu-inference",
+        lambda: inference_campaign(
+            device=GPU, seed=SEED_INFERENCE_GPU, workers=campaign_workers()
+        ),
     )
 
 
-@lru_cache(maxsize=8)
 def cpu_inference_data() -> Dataset:
-    return inference_campaign(
-        device=CPU, seed=SEED_INFERENCE_CPU, max_seconds=CPU_MAX_SECONDS,
-        workers=campaign_workers(),
+    return DATASET_CACHE.get_or_compute(
+        "cpu-inference",
+        lambda: inference_campaign(
+            device=CPU, seed=SEED_INFERENCE_CPU,
+            max_seconds=CPU_MAX_SECONDS, workers=campaign_workers(),
+        ),
     )
 
 
-@lru_cache(maxsize=8)
 def block_data() -> Dataset:
-    return block_campaign(
-        device=GPU, seed=SEED_BLOCKS, workers=campaign_workers()
+    return DATASET_CACHE.get_or_compute(
+        "blocks",
+        lambda: block_campaign(
+            device=GPU, seed=SEED_BLOCKS, workers=campaign_workers()
+        ),
     )
 
 
-@lru_cache(maxsize=8)
 def training_data() -> Dataset:
-    return training_campaign(
-        device=GPU, seed=SEED_TRAINING, workers=campaign_workers()
+    return DATASET_CACHE.get_or_compute(
+        "training",
+        lambda: training_campaign(
+            device=GPU, seed=SEED_TRAINING, workers=campaign_workers()
+        ),
     )
 
 
-@lru_cache(maxsize=8)
 def distributed_data() -> Dataset:
-    return distributed_campaign(
-        node_counts=NODE_COUNTS,
-        gpus_per_node=GPUS_PER_NODE,
-        device=GPU,
-        seed=SEED_DISTRIBUTED,
-        workers=campaign_workers(),
+    return DATASET_CACHE.get_or_compute(
+        "distributed",
+        lambda: distributed_campaign(
+            node_counts=NODE_COUNTS,
+            gpus_per_node=GPUS_PER_NODE,
+            device=GPU,
+            seed=SEED_DISTRIBUTED,
+            workers=campaign_workers(),
+        ),
     )
 
 

@@ -12,10 +12,10 @@ protocol — is reused verbatim.
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Sequence
 
 from repro.benchdata.records import ConvNetFeatures, Dataset, TimingRecord
+from repro.caching import LRUCache
 from repro.graph.graph import ComputeGraph
 from repro.graph.metrics import graph_costs
 from repro.hardware.device import A100_80GB, DeviceSpec
@@ -51,10 +51,19 @@ def transformer_features(graph: ComputeGraph) -> ConvNetFeatures:
     )
 
 
-@lru_cache(maxsize=256)
+#: Bounded, observable profile cache (same discipline as the campaign
+#: engine's PROFILE_CACHE; `repro lint` bans unbounded lru_cache repo-wide).
+VIT_PROFILE_CACHE: LRUCache[
+    tuple[str, int], tuple[CostProfile, ConvNetFeatures]
+] = LRUCache(maxsize=256)
+
+
 def _vit_profile(model: str, image: int) -> tuple[CostProfile, ConvNetFeatures]:
-    graph = build_model(model, image)
-    return profile_graph(graph), transformer_features(graph)
+    def build() -> tuple[CostProfile, ConvNetFeatures]:
+        graph = build_model(model, image)
+        return profile_graph(graph), transformer_features(graph)
+
+    return VIT_PROFILE_CACHE.get_or_compute((model, image), build)
 
 
 def vit_inference_campaign(

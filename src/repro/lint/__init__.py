@@ -1,0 +1,38 @@
+"""Determinism-hazard linter for this repository's own code.
+
+PR 1 made byte-identical parallel campaigns a core guarantee: every noise
+draw is seeded from measurement identity (``hardware/noise.py::point_seed``)
+and every memo is a bounded, observable ``repro.caching.LRUCache``.  Nothing
+*static* kept it that way — until this package.  It is a custom AST pass
+(stdlib :mod:`ast`, no third-party dependency) with rules tuned to the
+specific hazards that would silently break reproducibility or scalability:
+
+* ``DET001`` — unseeded module-level ``random`` / ``numpy.random`` calls
+* ``DET002`` — ``functools.lru_cache`` / ``functools.cache`` (unbounded or
+  unobservable memoisation)
+* ``DET003`` — float ``==`` / ``!=`` on computed runtimes
+* ``DET004`` — mutable default arguments
+* ``DET005`` — wall-clock reads (``time.time`` / ``datetime.now``) in
+  measurement paths
+
+Findings are :class:`repro.diagnostics.Diagnostic` records located by
+``file:line``.  Suppress a finding with a trailing
+``# repro-lint: disable=DET00X`` comment on the offending line.
+"""
+
+from repro.lint.rules import (
+    LINT_RULES,
+    LintRule,
+    lint_paths,
+    lint_source,
+)
+from repro.diagnostics import Diagnostic, Severity
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "LintRule",
+    "LINT_RULES",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,337 @@
+"""AST implementation of the determinism lint rules.
+
+One :class:`ast.NodeVisitor` pass per file.  Import aliases are resolved
+first (``import numpy as np`` / ``from functools import lru_cache as lc``)
+so the rules match the *canonical* dotted name being called, not its local
+spelling.  Every rule id, severity, and example lives in
+``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.diagnostics import Diagnostic, Severity, sort_diagnostics
+
+#: ``random`` module-level functions that draw from (or reseed) the hidden
+#: global RNG — the call-order dependence that breaks byte-identical
+#: parallel campaigns.
+_RANDOM_GLOBAL_FNS = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate",
+    "paretovariate", "randbytes", "randint", "random", "randrange",
+    "sample", "seed", "shuffle", "triangular", "uniform",
+    "vonmisesvariate", "weibullvariate",
+})
+
+#: Legacy ``numpy.random`` module-level functions (the global RandomState);
+#: ``numpy.random.default_rng(seed)`` and ``Generator`` methods are fine.
+_NUMPY_RANDOM_GLOBAL_FNS = frozenset({
+    "beta", "binomial", "choice", "exponential", "gamma", "get_state",
+    "lognormal", "normal", "permutation", "poisson", "rand", "randint",
+    "randn", "random", "random_sample", "ranf", "sample", "seed",
+    "set_state", "shuffle", "standard_normal", "uniform",
+})
+
+_UNBOUNDED_CACHES = frozenset({"functools.lru_cache", "functools.cache"})
+
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+})
+
+_MUTABLE_DEFAULT_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+#: Identifier segments that mark an operand as a computed runtime.
+_TIMING_SEGMENTS = frozenset({
+    "t", "time", "times", "runtime", "runtimes", "latency", "latencies",
+    "seconds", "secs", "elapsed", "duration", "durations",
+})
+
+_SUPPRESS = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9_,\s]+)")
+
+
+def _dotted_name(node: ast.expr) -> list[str] | None:
+    """``a.b.c`` as ``["a", "b", "c"]``; None for non-name expressions."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return parts[::-1]
+
+
+def _terminal_identifier(node: ast.expr) -> str | None:
+    """The last identifier of an operand (``x.t_fwd`` → ``t_fwd``,
+    ``measure()`` → ``measure``)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_timing_name(name: str | None) -> bool:
+    if not name:
+        return False
+    return any(seg in _TIMING_SEGMENTS for seg in name.lower().split("_"))
+
+
+class _FileLinter(ast.NodeVisitor):
+    def __init__(self, path: str, source_lines: Sequence[str]) -> None:
+        self.path = path
+        self.lines = source_lines
+        #: local alias -> canonical dotted module/name prefix.
+        self.aliases: dict[str, str] = {}
+        self.found: list[Diagnostic] = []
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _suppressed(self, lineno: int, rule: str) -> bool:
+        if not 1 <= lineno <= len(self.lines):
+            return False
+        match = _SUPPRESS.search(self.lines[lineno - 1])
+        if not match:
+            return False
+        return rule in {r.strip() for r in match.group(1).split(",")}
+
+    def _report(
+        self, node: ast.AST, rule: str, severity: Severity, message: str,
+        hint: str = "",
+    ) -> None:
+        lineno = getattr(node, "lineno", 1)
+        if self._suppressed(lineno, rule):
+            return
+        self.found.append(
+            Diagnostic(rule, severity, f"{self.path}:{lineno}", message, hint)
+        )
+
+    def _canonical(self, node: ast.expr) -> str | None:
+        """Resolve a name expression through the import aliases."""
+        parts = _dotted_name(node)
+        if parts is None:
+            return None
+        head = self.aliases.get(parts[0])
+        if head is None:
+            return None
+        return ".".join([head, *parts[1:]])
+
+    # -- import tracking ---------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            canonical = alias.name if alias.asname else alias.name.split(".")[0]
+            self.aliases[local] = canonical
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and not node.level:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                self.aliases[local] = f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    # -- DET001 / DET002 / DET005: hazardous calls -------------------------
+
+    def _check_callable_ref(self, node: ast.expr) -> None:
+        canonical = self._canonical(node)
+        if canonical is None:
+            return
+        module, _, fn = canonical.rpartition(".")
+        if module == "random" and fn in _RANDOM_GLOBAL_FNS:
+            self._report(
+                node, "DET001", Severity.ERROR,
+                f"call to the unseeded global RNG: {canonical}()",
+                hint="derive a seed from the measurement identity via "
+                "repro.hardware.noise.point_seed / stable_seed and use "
+                "numpy.random.default_rng(seed) or random.Random(seed)",
+            )
+        elif module == "numpy.random" and fn in _NUMPY_RANDOM_GLOBAL_FNS:
+            self._report(
+                node, "DET001", Severity.ERROR,
+                f"call to numpy's global RandomState: {canonical}()",
+                hint="use numpy.random.default_rng(seed) with a "
+                "point_seed-derived seed; global-state draws depend on "
+                "call order and break parallel determinism",
+            )
+        elif canonical in _UNBOUNDED_CACHES:
+            self._report(
+                node, "DET002", Severity.ERROR,
+                f"{canonical} is unbounded/unobservable memoisation",
+                hint="use repro.caching.LRUCache: a hard maxsize plus "
+                "hit/miss/eviction counters campaigns can report",
+            )
+        elif canonical in _WALL_CLOCK:
+            self._report(
+                node, "DET005", Severity.ERROR,
+                f"wall-clock read {canonical}() in a measurement path",
+                hint="simulated measurements must be functions of the "
+                "point identity; for elapsed-time observability use "
+                "time.perf_counter",
+            )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_callable_ref(node.func)
+        self.generic_visit(node)
+
+    def _check_decorators(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        for dec in node.decorator_list:
+            # Bare `@lru_cache` never passes through visit_Call.
+            if not isinstance(dec, ast.Call):
+                self._check_callable_ref(dec)
+
+    # -- DET004: mutable default arguments ---------------------------------
+
+    def _is_mutable_default(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                             ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in _MUTABLE_DEFAULT_CALLS
+        return False
+
+    def _check_defaults(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if self._is_mutable_default(default):
+                self._report(
+                    default, "DET004", Severity.ERROR,
+                    f"mutable default argument in {node.name}()",
+                    hint="default to None and create the object inside "
+                    "the function; shared defaults leak state between "
+                    "calls",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_decorators(node)
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_decorators(node)
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- DET003: float equality on computed runtimes -----------------------
+
+    def _is_float_hazard_operand(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            # `x == 0.0` is the exact-degenerate-value guard idiom
+            # (zero variance, zero span); only nonzero literals are
+            # genuinely tolerance-sensitive.
+            return node.value != 0.0
+        return _is_timing_name(_terminal_identifier(node))
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[i], operands[i + 1]
+            if self._is_float_hazard_operand(left) or (
+                self._is_float_hazard_operand(right)
+            ):
+                self._report(
+                    node, "DET003", Severity.WARN,
+                    "exact ==/!= comparison involving a float or a "
+                    "computed runtime",
+                    hint="use math.isclose / a tolerance; exact float "
+                    "equality on measured times is platform-dependent",
+                )
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
+    """Lint one module's source text; most severe findings first."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                "DET000", Severity.ERROR,
+                f"{path}:{exc.lineno or 1}",
+                f"syntax error: {exc.msg}",
+            )
+        ]
+    linter = _FileLinter(path, source.splitlines())
+    linter.visit(tree)
+    return sort_diagnostics(linter.found)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen: dict[Path, None] = {}
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                seen.setdefault(f, None)
+        else:
+            seen.setdefault(p, None)
+    return list(seen)
+
+
+def lint_paths(paths: Iterable[str | Path]) -> tuple[list[Diagnostic], int]:
+    """Lint every ``.py`` file under ``paths``.
+
+    Returns ``(diagnostics, n_files)`` so callers can report how much was
+    actually scanned (an empty directory is "clean" in a useless way).
+    Missing paths are reported as ``DET000`` errors rather than raised, so
+    a typo in CI fails the job with a diagnostic instead of a traceback.
+    """
+    found: list[Diagnostic] = []
+    files = iter_python_files(paths)
+    n_files = 0
+    for f in files:
+        try:
+            source = f.read_text()
+        except OSError as exc:
+            found.append(
+                Diagnostic(
+                    "DET000", Severity.ERROR, str(f),
+                    f"cannot read file: {exc}",
+                )
+            )
+            continue
+        n_files += 1
+        found.extend(lint_source(source, str(f)))
+    return sort_diagnostics(found), n_files
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """Registry record of one lint rule (the docs catalogue renders these)."""
+
+    rule: str
+    severity: Severity
+    title: str
+
+
+LINT_RULES: tuple[LintRule, ...] = (
+    LintRule("DET000", Severity.ERROR, "unparseable/unreadable file"),
+    LintRule("DET001", Severity.ERROR,
+             "unseeded global random / numpy.random call"),
+    LintRule("DET002", Severity.ERROR,
+             "functools.lru_cache / cache instead of bounded LRUCache"),
+    LintRule("DET003", Severity.WARN,
+             "float ==/!= on computed runtimes"),
+    LintRule("DET004", Severity.ERROR, "mutable default argument"),
+    LintRule("DET005", Severity.ERROR,
+             "wall-clock read in a measurement path"),
+)
