@@ -1,7 +1,15 @@
 """Reporting utilities: tables, scatter summaries, coefficient
-interpretation, the related-work matrix — and the graph IR verifier
-(:mod:`repro.analysis.verify`)."""
+interpretation, the related-work matrix — and the static-analysis fronts:
+the graph IR verifier (:mod:`repro.analysis.verify`) and the fitted-model
+auditor (:mod:`repro.analysis.audit`)."""
 
+from repro.analysis.audit import (
+    FIT_RULES,
+    ModelAuditError,
+    audit_linear,
+    audit_model,
+    audit_prediction_query,
+)
 from repro.analysis.tables import format_table, format_series
 from repro.analysis.scatter import format_scatter, scatter_bins
 from repro.analysis.coefficients import (
@@ -20,6 +28,11 @@ __all__ = [
     "GraphVerificationError",
     "verify_graph",
     "verify_model",
+    "FIT_RULES",
+    "ModelAuditError",
+    "audit_linear",
+    "audit_model",
+    "audit_prediction_query",
     "format_table",
     "format_series",
     "format_scatter",

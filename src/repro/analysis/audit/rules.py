@@ -1,0 +1,460 @@
+"""Rule implementations of the fitted-model auditor (FIT001–FIT007).
+
+Every rule is a pure function of a fitted :class:`LinearModel` and (where
+needed) the raw design matrix / measurement vector it was fitted on — no
+campaign executes here.  The design matrix is analysed in the *solver's*
+space (row-weighted, column-scaled exactly as :meth:`LinearModel.fit`
+scales it) because that is where collinearity and leverage actually act on
+the coefficients; coefficient-sign and intercept rules use the raw,
+physical columns.
+
+Severity calibration matters: the default zoo fits legitimately carry a
+small collinearity-induced sign flip between the inputs and outputs
+columns (their VIFs sit near 30) and an intercept that dominates batch-1
+GPU predictions — those audit as WARN, not ERROR.  ERROR is reserved for
+defects that corrupt what the paper's Tables 1–4 claim: a *material*
+negative runtime term, a (near-)singular design, an identically-zero or
+rank-killing column, or a fit one training point can steer at will.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.regression import LinearModel
+from repro.diagnostics import Diagnostic, Severity, sort_diagnostics
+
+#: Condition number of the scaled design (fit-space).  The default zoo
+#: designs condition around 20; a duplicated or near-duplicated column
+#: shoots past 1e10.
+COND_WARN = 1e6
+COND_ERROR = 1e10
+
+#: Variance-inflation factors (uncentred, computed on the scaled design).
+#: Inputs/outputs sit near 30 on the default campaigns.
+VIF_WARN = 1e2
+VIF_ERROR = 1e6
+
+#: Hat-matrix diagonal.  0.5 means one training point supplies half the
+#: information behind its own prediction; ~1.0 means the fit simply
+#: interpolates it.
+LEVERAGE_WARN = 0.5
+LEVERAGE_ERROR = 0.98
+
+#: A negative OLS coefficient is an ERROR once its worst-case contribution
+#: share (|c_j x_j| over the summed absolute contributions) exceeds this,
+#: or once it drives any fitted-domain prediction non-positive.
+NEGATIVE_SHARE_ERROR = 0.5
+
+#: Near-constant (non-intercept) column: relative span below this aliases
+#: the intercept.
+CONSTANT_SPAN_TOL = 1e-9
+
+#: Intercept share of the smallest fitted-domain prediction above which
+#: FIT007 reports that small-configuration predictions are all fixed cost.
+INTERCEPT_SHARE_WARN = 0.95
+
+#: FIT006 residual-bias gates: a group (one ConvNet / block) must have at
+#: least this many records, at least this fraction of residuals on one
+#: side, and at least this mean relative bias before it is reported.
+BIAS_MIN_GROUP = 6
+BIAS_SIGN_FRACTION = 0.9
+BIAS_MEAN_REL = 0.15
+
+#: Default extrapolation-domain multiple for FIT004 checks.
+DEFAULT_DOMAIN_FACTOR = 10.0
+
+
+class ModelAuditError(RuntimeError):
+    """Raised by strict audit gates when ERROR-severity findings exist."""
+
+    def __init__(self, diagnostics: Sequence[Diagnostic]) -> None:
+        errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+        super().__init__(
+            f"model audit found {len(errors)} ERROR finding"
+            f"{'s' if len(errors) != 1 else ''}: "
+            + "; ".join(d.render() for d in errors[:3])
+        )
+        self.diagnostics = tuple(diagnostics)
+
+
+def _keep(diags: list[Diagnostic], ignore: Sequence[str]) -> list[Diagnostic]:
+    banned = set(ignore)
+    return [d for d in diags if d.rule not in banned]
+
+
+def _solver_space(
+    model: LinearModel, X: np.ndarray, y: np.ndarray | None
+) -> np.ndarray:
+    """Re-apply the row weighting and column scaling of ``fit``."""
+    if model.fit_weight is not None and len(model.fit_weight) == len(X):
+        w = model.fit_weight
+    elif model.weighting == "relative" and y is not None and np.all(y > 0):
+        w = 1.0 / y
+    else:
+        w = np.ones(X.shape[0])
+    Xw = X * w[:, None]
+    scale = np.abs(Xw).max(axis=0)
+    scale[scale == 0.0] = 1.0
+    return Xw / scale
+
+
+# ---------------------------------------------------------------------------
+# Design-matrix rules: FIT002 collinearity, FIT003 degeneracy, FIT005
+# leverage.
+
+
+def audit_design(
+    model: LinearModel,
+    X: np.ndarray,
+    y: np.ndarray | None = None,
+    *,
+    location: str = "design",
+) -> list[Diagnostic]:
+    """Statistical static analysis of the design matrix itself."""
+    X = np.asarray(X, dtype=np.float64)
+    labels = model.feature_labels(X.shape[1])
+    found: list[Diagnostic] = []
+
+    # FIT003 — identically-zero and near-constant columns, rank deficiency.
+    col_abs_max = np.abs(X).max(axis=0)
+    degenerate = col_abs_max == 0.0
+    for j in np.flatnonzero(degenerate):
+        found.append(
+            Diagnostic(
+                "FIT003", Severity.ERROR, f"{location}:{labels[j]}",
+                "feature column is identically zero; its coefficient is "
+                "meaningless and the scaled solve divides by an arbitrary "
+                "fallback",
+                hint="drop the feature or fix the metric extraction; "
+                "LinearModel.fit now rejects this at runtime",
+            )
+        )
+    spans = X.max(axis=0) - X.min(axis=0)
+    for j in range(X.shape[1]):
+        # The explicit intercept column (named, or the conventional
+        # all-ones column — an exact-representation sentinel, not a
+        # computed value) is constant by design.
+        if (
+            degenerate[j]
+            or labels[j] == "intercept"
+            or np.all(X[:, j] == 1.0)  # repro-lint: disable=DET003
+        ):
+            continue
+        if spans[j] <= CONSTANT_SPAN_TOL * col_abs_max[j]:
+            found.append(
+                Diagnostic(
+                    "FIT003", Severity.WARN, f"{location}:{labels[j]}",
+                    f"feature column is constant ({X[0, j]:.6g} in every "
+                    "row) and aliases the intercept",
+                    hint="sweep the feature in the campaign or drop it "
+                    "from the design",
+                )
+            )
+    Xs = _solver_space(model, X, y)
+    ok = ~degenerate
+    rank = int(np.linalg.matrix_rank(Xs[:, ok])) if ok.any() else 0
+    rank_deficient = rank < int(ok.sum())
+    if rank_deficient:
+        found.append(
+            Diagnostic(
+                "FIT003", Severity.ERROR, location,
+                f"design matrix is rank-deficient: numerical rank {rank} "
+                f"for {int(ok.sum())} non-zero columns; at least one "
+                "coefficient is not identified by the data",
+                hint="look for duplicated or linearly dependent features "
+                "(the FIT002 VIF report names them)",
+            )
+        )
+
+    # FIT002 — conditioning and variance inflation.
+    cond = float(np.linalg.cond(Xs))
+    if cond >= COND_WARN:
+        severity = Severity.ERROR if cond >= COND_ERROR else Severity.WARN
+        found.append(
+            Diagnostic(
+                "FIT002", severity, location,
+                f"scaled design matrix is ill-conditioned "
+                f"(condition number {cond:.3g})",
+                hint="remove collinear features or switch to nnls, which "
+                "degrades gracefully under collinearity",
+            )
+        )
+    if X.shape[1] > 1:
+        for j in range(X.shape[1]):
+            if degenerate[j]:
+                continue
+            others = np.delete(Xs, j, axis=1)
+            beta, *_ = np.linalg.lstsq(others, Xs[:, j], rcond=None)
+            ss_res = float(((Xs[:, j] - others @ beta) ** 2).sum())
+            ss_tot = float((Xs[:, j] ** 2).sum())
+            r2 = 0.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+            vif = np.inf if r2 >= 1.0 - 1e-15 else 1.0 / (1.0 - r2)
+            if vif >= VIF_WARN:
+                severity = (
+                    Severity.ERROR if vif >= VIF_ERROR else Severity.WARN
+                )
+                found.append(
+                    Diagnostic(
+                        "FIT002", severity, f"{location}:{labels[j]}",
+                        f"feature is collinear with the rest of the design "
+                        f"(VIF {'inf' if np.isinf(vif) else f'{vif:.3g}'})",
+                        hint="its coefficient absorbs variance owned by "
+                        "other features; expect unstable signs under "
+                        "re-measurement",
+                    )
+                )
+
+    # FIT005 — high-leverage training points.  Stands down on a
+    # rank-deficient design: the hat matrix of a deficient QR is noise, and
+    # the root cause is already reported (one defect, one diagnostic).
+    if rank_deficient:
+        return found
+    q, _ = np.linalg.qr(Xs)
+    hat = np.minimum((q ** 2).sum(axis=1), 1.0)
+    flagged = np.flatnonzero(hat >= LEVERAGE_WARN)
+    for i in flagged:
+        severity = (
+            Severity.ERROR if hat[i] >= LEVERAGE_ERROR else Severity.WARN
+        )
+        found.append(
+            Diagnostic(
+                "FIT005", severity, f"{location}:row[{int(i)}]",
+                f"training point has hat-matrix leverage {hat[i]:.3f}; "
+                "it single-handedly steers the fit in its region",
+                hint="re-balance the campaign sweep or down-weight the "
+                "point; leverage near 1 means the model merely "
+                "interpolates it",
+            )
+        )
+    return found
+
+
+# ---------------------------------------------------------------------------
+# Coefficient rules: FIT001 unphysical signs, FIT007 intercept dominance.
+
+
+def _contribution_shares(
+    coef: np.ndarray, X: np.ndarray
+) -> np.ndarray:
+    """Worst-case per-feature share of the summed absolute contribution."""
+    contrib = np.abs(X * coef[None, :])
+    total = contrib.sum(axis=1)
+    total[total == 0.0] = 1.0
+    return (contrib / total[:, None]).max(axis=0)
+
+
+def _corner_rows(model: LinearModel) -> np.ndarray | None:
+    """Fallback design when the raw fit matrix is gone (a loaded model):
+    the min- and max-range corners of the fitted domain."""
+    if model.feature_ranges is None:
+        return None
+    lo = np.array([r[0] for r in model.feature_ranges])
+    hi = np.array([r[1] for r in model.feature_ranges])
+    return np.vstack([lo, hi])
+
+
+def audit_coefficients(
+    model: LinearModel, X: np.ndarray | None = None, *, location: str = "model"
+) -> list[Diagnostic]:
+    """FIT001 and FIT007 on a fitted coefficient vector."""
+    if model.coef is None:
+        return [
+            Diagnostic(
+                "FIT001", Severity.ERROR, location,
+                "model is not fitted; nothing to audit",
+                hint="call fit() before persisting or auditing",
+            )
+        ]
+    if X is None:
+        X = model.fit_design if model.fit_design is not None else (
+            _corner_rows(model)
+        )
+    found: list[Diagnostic] = []
+    labels = model.feature_labels()
+    shares = (
+        _contribution_shares(model.coef, np.asarray(X, dtype=np.float64))
+        if X is not None
+        else np.ones_like(model.coef)
+    )
+    predictions = (
+        np.asarray(X, dtype=np.float64) @ model.coef if X is not None else None
+    )
+
+    # FIT001 — negative runtime contributions under OLS.  NNLS cannot
+    # produce them by construction, so it is the canonical fix.
+    if model.method == "ols":
+        for j in np.flatnonzero(model.coef < 0.0):
+            material = shares[j] >= NEGATIVE_SHARE_ERROR or (
+                predictions is not None and bool(np.any(predictions <= 0.0))
+            )
+            severity = Severity.ERROR if material else Severity.WARN
+            found.append(
+                Diagnostic(
+                    "FIT001", severity, f"{location}:{labels[j]}",
+                    f"negative runtime coefficient {model.coef[j]:.4g} "
+                    f"(worst-case {shares[j]:.0%} of a fitted-domain "
+                    "prediction); more work cannot take less time",
+                    hint="refit with method='nnls' to constrain "
+                    "coefficients to be non-negative, or fix the "
+                    "collinearity FIT002 reports",
+                )
+            )
+
+    # FIT007 — intercept dominating small-configuration predictions.
+    if "intercept" in labels and predictions is not None:
+        j = labels.index("intercept")
+        intercept = float(model.coef[j])
+        positive = predictions[predictions > 0.0]
+        if intercept > 0.0 and positive.size:
+            share = intercept / float(positive.min())
+            if share >= INTERCEPT_SHARE_WARN:
+                found.append(
+                    Diagnostic(
+                        "FIT007", Severity.WARN, f"{location}:intercept",
+                        f"intercept {intercept:.4g} is {share:.0%} of the "
+                        "smallest fitted-domain prediction; small "
+                        "configurations are predicted almost entirely by "
+                        "fixed cost",
+                        hint="extend the campaign toward smaller "
+                        "configurations only if small-batch accuracy "
+                        "matters; otherwise document that tiny "
+                        "configurations are launch-overhead bound",
+                    )
+                )
+    return found
+
+
+# ---------------------------------------------------------------------------
+# FIT004 — extrapolation-domain audit of predict-time queries.
+
+
+def audit_queries(
+    model: LinearModel,
+    X: np.ndarray,
+    factor: float = DEFAULT_DOMAIN_FACTOR,
+    *,
+    location: str = "query",
+) -> list[Diagnostic]:
+    """Flag query rows beyond ``factor``× the fitted feature ranges."""
+    found = []
+    for violation in model.domain_violations(X, factor=factor):
+        found.append(
+            Diagnostic(
+                "FIT004", Severity.WARN,
+                f"{location}:{violation.feature}",
+                f"extrapolation: {violation.describe()}",
+                hint="the linear model still answers, but no measurement "
+                "backs it; tighten the query or extend the campaign",
+            )
+        )
+    return found
+
+
+# ---------------------------------------------------------------------------
+# FIT006 — systematic per-group residual bias.
+
+
+def audit_residual_bias(
+    groups: Mapping[str, tuple[np.ndarray, np.ndarray]],
+    *,
+    location: str = "residuals",
+) -> list[Diagnostic]:
+    """Groups whose signed relative residuals all lean one way.
+
+    ``groups`` maps a group key (ConvNet name, block name, layer type) to
+    ``(measured, predicted)`` arrays.  A shared linear fit that
+    systematically over- or under-shoots one whole group is hiding a
+    structural mismatch that pooled error metrics average away.
+    """
+    found: list[Diagnostic] = []
+    for name, (measured, predicted) in sorted(groups.items()):
+        measured = np.asarray(measured, dtype=np.float64)
+        predicted = np.asarray(predicted, dtype=np.float64)
+        if measured.size < BIAS_MIN_GROUP or np.any(measured <= 0.0):
+            continue
+        rel = (predicted - measured) / measured
+        frac_pos = float((rel > 0).mean())
+        lean = max(frac_pos, 1.0 - frac_pos)
+        mean_rel = float(rel.mean())
+        if lean >= BIAS_SIGN_FRACTION and abs(mean_rel) >= BIAS_MEAN_REL:
+            direction = "over" if mean_rel > 0 else "under"
+            found.append(
+                Diagnostic(
+                    "FIT006", Severity.WARN, f"{location}:{name}",
+                    f"systematic {direction}-prediction: {lean:.0%} of "
+                    f"{measured.size} residuals lean one way, mean "
+                    f"relative bias {mean_rel:+.0%}",
+                    hint="the shared coefficients do not transfer to this "
+                    "group; consider a per-family model or the "
+                    "leave-one-out protocol for honest error bars",
+                )
+            )
+    return found
+
+
+@dataclass(frozen=True)
+class AuditRule:
+    """Registry record of one audit rule (the docs catalogue renders
+    these)."""
+
+    rule: str
+    severity: Severity
+    title: str
+
+
+FIT_RULES: tuple[AuditRule, ...] = (
+    AuditRule("FIT001", Severity.ERROR,
+              "unphysical negative runtime coefficient (OLS)"),
+    AuditRule("FIT002", Severity.ERROR,
+              "collinear design (condition number / VIF)"),
+    AuditRule("FIT003", Severity.ERROR,
+              "rank deficiency, zero or constant feature column"),
+    AuditRule("FIT004", Severity.WARN,
+              "prediction query beyond the fitted feature range"),
+    AuditRule("FIT005", Severity.ERROR,
+              "high-leverage training point dominates the fit"),
+    AuditRule("FIT006", Severity.WARN,
+              "systematic per-group residual bias"),
+    AuditRule("FIT007", Severity.WARN,
+              "intercept dominates small-configuration predictions"),
+)
+
+
+def audit_linear(
+    model: LinearModel,
+    X: np.ndarray | None = None,
+    y: np.ndarray | None = None,
+    *,
+    location: str = "model",
+    ignore: Sequence[str] = (),
+) -> list[Diagnostic]:
+    """Full static audit of one fitted :class:`LinearModel`.
+
+    Coefficient rules always run; design-matrix rules run when a design is
+    available — passed explicitly, or remembered from ``fit`` in-process.
+    A freshly-loaded model (no design) still gets FIT001/FIT007 via its
+    persisted feature ranges.
+    """
+    if X is None:
+        X, y = model.fit_design, model.fit_target
+    found = audit_coefficients(model, X, location=location)
+    if X is not None and model.is_fitted:
+        found.extend(audit_design(model, X, y, location=location))
+    return sort_diagnostics(_keep(found, ignore))
+
+
+__all__ = [
+    "AuditRule",
+    "FIT_RULES",
+    "ModelAuditError",
+    "DEFAULT_DOMAIN_FACTOR",
+    "audit_coefficients",
+    "audit_design",
+    "audit_linear",
+    "audit_queries",
+    "audit_residual_bias",
+]

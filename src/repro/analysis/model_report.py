@@ -8,10 +8,13 @@ model with a fitted forward model and ranks the bottlenecks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.analysis.tables import format_table
 from repro.benchdata.records import ConvNetFeatures
+from repro.core.features import forward_row
 from repro.core.forward import ForwardModel
 from repro.graph.graph import ComputeGraph
 from repro.hardware.roofline import profile_graph
@@ -34,6 +37,10 @@ class ModelReport:
     model: str
     batch: int
     rows: tuple[BlockReportRow, ...]
+    #: FIT004 extrapolation-domain notes: block queries that fall outside
+    #: the forward model's fitted feature ranges (empty when all blocks
+    #: are in-domain or the model carries no ranges).
+    domain_notes: tuple[str, ...] = field(default=())
 
     @property
     def total_time(self) -> float:
@@ -54,7 +61,7 @@ class ModelReport:
             }
             for r in self.rows
         ]
-        return format_table(
+        table = format_table(
             table_rows,
             [
                 ("block", None),
@@ -69,26 +76,40 @@ class ModelReport:
                 f"(batch {self.batch})"
             ),
         )
+        if self.domain_notes:
+            table += "\n" + "\n".join(
+                f"extrapolation [FIT004]: {note}" for note in self.domain_notes
+            )
+        return table
 
 
 def block_report(
     graph: ComputeGraph,
     forward_model: ForwardModel,
     batch: int = 1,
+    domain_factor: float | None = 10.0,
 ) -> ModelReport:
     """Predict every block of ``graph`` with a fitted forward model.
 
     Blocks are the graph's declared scopes; per-block predictions come from
-    block subgraphs exactly as in the Table 2 protocol.
+    block subgraphs exactly as in the Table 2 protocol.  Blocks whose
+    design rows fall beyond ``domain_factor``× the model's fitted feature
+    ranges are surfaced as FIT004 ``domain_notes`` on the report — a model
+    fitted on whole networks is extrapolating when asked about a tiny
+    block.
     """
     names = graph.block_names()
     if not names:
         raise ValueError(f"graph {graph.name!r} declares no blocks")
     rows: list[BlockReportRow] = []
+    design_rows: list[np.ndarray] = []
     for scope in names:
         sub = graph.block_subgraph(scope)
         profile = profile_graph(sub)
         features = ConvNetFeatures.from_profile(profile)
+        design_rows.append(
+            forward_row(features, batch, forward_model.metric_names)
+        )
         predicted = forward_model.predict_one(features, batch)
         rows.append(
             BlockReportRow(
@@ -112,4 +133,14 @@ def block_report(
         )
         for r in rows
     ]
-    return ModelReport(model=graph.name, batch=batch, rows=tuple(rows))
+    notes: tuple[str, ...] = ()
+    if domain_factor is not None:
+        notes = tuple(
+            v.describe()
+            for v in forward_model.model.domain_violations(
+                np.array(design_rows), factor=domain_factor
+            )
+        )
+    return ModelReport(
+        model=graph.name, batch=batch, rows=tuple(rows), domain_notes=notes
+    )

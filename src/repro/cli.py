@@ -9,6 +9,7 @@ Mirrors how the paper's tooling would be used operationally::
     repro campaign --scenario inference --workers 8 \
                    --store runs/gpu --resume -o data.json
     repro fit --data data.json --kind forward -o model.json
+    repro audit model.json --data data.json    # fitted-model auditor
     repro predict --model model.json --network resnet50 \
                   --image 224 --batch 64
     repro experiment table1                    # regenerate a paper artefact
@@ -142,24 +143,95 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_fit(args: argparse.Namespace) -> int:
+    from repro.analysis.audit import ModelAuditError
+    from repro.core.persistence import load_audit_block
+
     data = Dataset.from_json(args.data)
     if args.exclude:
         data = data.excluding_model(args.exclude)
     model = (
-        ForwardModel() if args.kind == "forward" else TrainingStepModel()
+        ForwardModel(method=args.method)
+        if args.kind == "forward"
+        else TrainingStepModel(method=args.method)
     )
     model.fit(data)
-    save_model(model, args.out)
+    try:
+        save_model(model, args.out, audit=args.audit)
+    except ModelAuditError as exc:
+        for diag in exc.diagnostics:
+            print(diag.render())
+        print(f"fit: refusing to save {args.out} (--audit strict): {exc}")
+        return 1
     metrics = model.evaluate(data)
     print(f"fitted {args.kind} model on {len(data)} records: {metrics}")
+    block = load_audit_block(args.out)
+    if block is not None:
+        print(
+            f"audit: {block['errors']} errors, {block['warnings']} warnings "
+            "(embedded in the model JSON; see `repro audit`)"
+        )
     print(f"saved to {args.out}")
     return 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.analysis.audit import audit_model
+    from repro.core.persistence import load_audit_block, load_model
+    from repro.diagnostics import (
+        Diagnostic,
+        Severity,
+        has_errors,
+        render_json,
+        render_text,
+    )
+
+    data = Dataset.from_json(args.data) if args.data else None
+    ignored = set(args.ignore)
+    diags = []
+    for path in args.models:
+        model = load_model(path)
+        if data is not None:
+            found = audit_model(model, data, ignore=args.ignore)
+        else:
+            block = load_audit_block(path)
+            if block is not None:
+                # Replay the audit embedded at save time — it was computed
+                # with the full design matrix, which a bare JSON no longer
+                # carries.
+                found = [
+                    Diagnostic(
+                        d["rule"], Severity[d["severity"]], d["location"],
+                        d["message"], d["hint"],
+                    )
+                    for d in block["diagnostics"]
+                    if d["rule"] not in ignored
+                ]
+            else:
+                found = audit_model(model, ignore=args.ignore)
+        diags.extend(
+            replace(d, location=f"{path}:{d.location}") for d in found
+        )
+    if args.format == "json":
+        print(render_json(diags, len(args.models), "model"))
+    else:
+        print(render_text(diags, len(args.models), "model",
+                          quiet=args.quiet))
+    return 1 if has_errors(diags) else 0
+
+
 def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.analysis.audit import audit_prediction_query
+
     model = load_model(args.model)
     profile = zoo_profile(args.network, args.image)
     features = ConvNetFeatures.from_profile(profile)
+    for diag in audit_prediction_query(
+        model, features, args.batch, args.devices, args.nodes,
+        factor=args.domain_factor,
+    ):
+        print(f"warning: {diag.render()}")
     if isinstance(model, TrainingStepModel):
         pred = model.predict_one(
             features, args.batch, devices=args.devices, nodes=args.nodes
@@ -214,6 +286,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import lint_paths
 
     diags, n_files = lint_paths(args.paths)
+    if args.select:
+        wanted = set(args.select)
+        diags = [d for d in diags if d.rule in wanted]
     if args.format == "json":
         print(render_json(diags, n_files, "file"))
     else:
@@ -303,7 +378,29 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--format", choices=("text", "json"), default="text")
     lint.add_argument("--quiet", action="store_true",
                       help="print only the one-line summary")
+    lint.add_argument("--select", nargs="*", default=(), metavar="RULE",
+                      help="report only these rule ids (e.g. DET006)")
     lint.set_defaults(func=_cmd_lint)
+
+    audit = sub.add_parser(
+        "audit",
+        help="statistically audit fitted model artifacts (coefficient "
+             "signs, collinearity, leverage, extrapolation domain)",
+        epilog=_EXIT_CODES,
+    )
+    audit.add_argument("models", nargs="+", metavar="MODEL_JSON",
+                       help="saved model JSON files to audit")
+    audit.add_argument("--data", default=None,
+                       help="campaign JSON the model was fitted on; "
+                            "re-derives design matrices and enables the "
+                            "data-dependent rules (FIT002/3/5/6)")
+    audit.add_argument("--ignore", nargs="*", default=(), metavar="RULE",
+                       help="rule ids to suppress (e.g. FIT007)")
+    audit.add_argument("--format", choices=("text", "json"),
+                       default="text")
+    audit.add_argument("--quiet", action="store_true",
+                       help="print only the one-line summary")
+    audit.set_defaults(func=_cmd_audit)
 
     campaign = sub.add_parser("campaign", help="run a benchmark campaign")
     campaign.add_argument(
@@ -342,8 +439,17 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--data", required=True, help="campaign JSON file")
     fit.add_argument("--kind", choices=("forward", "step"),
                      default="forward")
+    fit.add_argument("--method", choices=("ols", "nnls"), default="ols",
+                     help="regression solver; nnls constrains "
+                          "coefficients to be non-negative (the FIT001 "
+                          "fix)")
     fit.add_argument("--exclude", default=None,
                      help="hold out one model (leave-one-out)")
+    fit.add_argument("--audit", choices=("warn", "strict", "off"),
+                     default="warn",
+                     help="fitted-model audit gate: warn embeds the audit "
+                          "block and warns on ERRORs, strict refuses to "
+                          "save on ERRORs, off skips auditing")
     fit.add_argument("-o", "--out", required=True)
     fit.set_defaults(func=_cmd_fit)
 
@@ -356,6 +462,9 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--nodes", type=int, default=1)
     predict.add_argument("--dataset-size", type=int, default=None)
     predict.add_argument("--epochs", type=int, default=None)
+    predict.add_argument("--domain-factor", type=float, default=10.0,
+                         help="flag queries beyond this multiple of the "
+                              "fitted feature range (FIT004)")
     predict.set_defaults(func=_cmd_predict)
 
     report = sub.add_parser(

@@ -3,11 +3,21 @@
 A fitted ConvMeter model is just named coefficients plus its structural
 configuration, so persistence is a small JSON document — the property the
 paper highlights ("we only need to compute and store a few coefficients").
+
+Format history:
+
+* **1** — coefficients and structure only.
+* **2** — adds per-feature fitted ranges to every linear state (enabling
+  extrapolation-domain checks, audit rule FIT004, after a load) and embeds
+  the fitted-model audit block (``repro.analysis.audit``) at the top level
+  so a saved artifact carries its own bill of health.  Version-1 documents
+  load unchanged — they simply have no ranges and no audit block.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Any
 
@@ -22,7 +32,11 @@ from repro.core.training import (
     TrainingStepModel,
 )
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_FORMATS = (1, 2)
+
+#: Audit gate modes accepted by :func:`save_model` / ``repro fit --audit``.
+AUDIT_MODES = ("warn", "strict", "off")
 
 
 def _linear_state(model: LinearModel) -> dict[str, Any]:
@@ -31,6 +45,11 @@ def _linear_state(model: LinearModel) -> dict[str, Any]:
         "weighting": model.weighting,
         "feature_names": list(model.feature_names),
         "coef": None if model.coef is None else model.coef.tolist(),
+        "feature_ranges": (
+            None
+            if model.feature_ranges is None
+            else [[lo, hi] for lo, hi in model.feature_ranges]
+        ),
     }
 
 
@@ -42,11 +61,16 @@ def _restore_linear(state: dict[str, Any]) -> LinearModel:
     )
     if state["coef"] is not None:
         model.coef = np.asarray(state["coef"], dtype=np.float64)
+    ranges = state.get("feature_ranges")
+    if ranges is not None:
+        model.feature_ranges = tuple(
+            (float(lo), float(hi)) for lo, hi in ranges
+        )
     return model
 
 
-def model_to_dict(model: object) -> dict[str, Any]:
-    """Serialise any fitted ConvMeter model to a JSON-safe dict."""
+def _model_state(model: object) -> dict[str, Any]:
+    """Structural serialisation (no audit block)."""
     if isinstance(model, ForwardModel):  # covers BackwardModel too
         kind = (
             "backward" if isinstance(model, BackwardModel) else "forward"
@@ -77,15 +101,49 @@ def model_to_dict(model: object) -> dict[str, Any]:
         return {
             "format": _FORMAT_VERSION,
             "kind": "training_step",
-            "forward": model_to_dict(model.forward),
-            "bwd_grad": model_to_dict(model.bwd_grad),
+            "forward": _model_state(model.forward),
+            "bwd_grad": _model_state(model.bwd_grad),
         }
     raise TypeError(f"cannot serialise {type(model).__name__}")
 
 
+def _audit_block(model: object) -> dict[str, Any]:
+    """Run the fitted-model auditor and shape its findings for embedding."""
+    # Imported here: persistence is core-layer, the auditor lives above it
+    # in repro.analysis.
+    from repro.analysis.audit import audit_model
+    from repro.diagnostics import Severity, count_by_severity
+
+    diagnostics = audit_model(model)
+    counts = count_by_severity(diagnostics)
+    return {
+        "errors": counts[Severity.ERROR],
+        "warnings": counts[Severity.WARN],
+        "infos": counts[Severity.INFO],
+        "diagnostics": [d.to_dict() for d in diagnostics],
+    }
+
+
+def model_to_dict(model: object, audit: bool = True) -> dict[str, Any]:
+    """Serialise any fitted ConvMeter model to a JSON-safe dict.
+
+    ``audit=True`` (default) embeds the fitted-model audit block so the
+    persisted artifact records the statistical health of its coefficients
+    at save time.
+    """
+    state = _model_state(model)
+    if audit:
+        state["audit"] = _audit_block(model)
+    return state
+
+
 def model_from_dict(state: dict[str, Any]) -> object:
-    """Inverse of :func:`model_to_dict`."""
-    if state.get("format") != _FORMAT_VERSION:
+    """Inverse of :func:`model_to_dict`.
+
+    Accepts every supported format version; version-1 documents (no
+    feature ranges, no audit block) load without warnings.
+    """
+    if state.get("format") not in _SUPPORTED_FORMATS:
         raise ValueError(
             f"unsupported model format {state.get('format')!r}"
         )
@@ -118,11 +176,56 @@ def model_from_dict(state: dict[str, Any]) -> object:
     raise ValueError(f"unknown model kind {kind!r}")
 
 
-def save_model(model: object, path: str | Path) -> None:
-    """Write a fitted model to a JSON file."""
-    Path(path).write_text(json.dumps(model_to_dict(model), indent=2))
+def save_model(model: object, path: str | Path, audit: str = "warn") -> None:
+    """Write a fitted model to a JSON file, audit-gated.
+
+    ``audit`` is the persistence gate of the fitted-model auditor:
+
+    * ``"warn"`` (default) — embed the audit block; if it contains ERROR
+      findings, emit a :class:`RuntimeWarning` naming the first one but
+      save anyway.
+    * ``"strict"`` — refuse to persist a model whose audit has ERROR
+      findings (raises :class:`~repro.analysis.audit.ModelAuditError`).
+    * ``"off"`` — skip the auditor entirely (no audit block is embedded).
+    """
+    if audit not in AUDIT_MODES:
+        raise ValueError(
+            f"unknown audit mode {audit!r}; options: {', '.join(AUDIT_MODES)}"
+        )
+    state = model_to_dict(model, audit=audit != "off")
+    block = state.get("audit")
+    if block and block["errors"]:
+        if audit == "strict":
+            from repro.analysis.audit import ModelAuditError
+            from repro.diagnostics import Diagnostic, Severity
+
+            raise ModelAuditError(
+                [
+                    Diagnostic(
+                        d["rule"], Severity[d["severity"]], d["location"],
+                        d["message"], d["hint"],
+                    )
+                    for d in block["diagnostics"]
+                ]
+            )
+        first = block["diagnostics"][0]
+        warnings.warn(
+            f"persisting a model with {block['errors']} audit ERROR"
+            f"{'s' if block['errors'] != 1 else ''} "
+            f"(first: [{first['rule']}] {first['message']}); "
+            "run `repro audit` for the full report",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    Path(path).write_text(json.dumps(state, indent=2))
 
 
 def load_model(path: str | Path) -> object:
     """Load a fitted model saved by :func:`save_model`."""
     return model_from_dict(json.loads(Path(path).read_text()))
+
+
+def load_audit_block(path: str | Path) -> dict[str, Any] | None:
+    """The audit block embedded in a saved model, or None (v1 documents,
+    or models saved with ``audit="off"``)."""
+    return json.loads(Path(path).read_text()).get("audit")

@@ -23,6 +23,40 @@ import numpy as np
 from scipy.optimize import nnls as _scipy_nnls
 
 
+class ExtrapolationWarning(RuntimeWarning):
+    """A prediction was requested far outside the fitted feature range.
+
+    Linear extrapolation is a deliberate ConvMeter capability (Section 4.3
+    simulates batch sizes beyond device memory), but the further a query
+    strays from the fitted domain the less the coefficients are backed by
+    data — so domain-checked paths warn instead of failing."""
+
+
+@dataclass(frozen=True)
+class DomainViolation:
+    """One feature queried beyond the fitted range (audit rule FIT004)."""
+
+    feature: str
+    #: Worst offending query value for this feature.
+    value: float
+    #: Fitted [min, max] of the feature column.
+    fitted_min: float
+    fitted_max: float
+    #: How far outside the allowed band the worst value lies, as a multiple
+    #: of the fitted range boundary (2.0 = twice the allowed extreme).
+    excess: float
+    #: Number of query rows violating the band for this feature.
+    n_rows: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.feature}={self.value:.6g} is outside "
+            f"{self.excess:.1f}x the fitted range "
+            f"[{self.fitted_min:.6g}, {self.fitted_max:.6g}] "
+            f"({self.n_rows} query row{'s' if self.n_rows != 1 else ''})"
+        )
+
+
 @dataclass
 class LinearModel:
     """A fitted linear map ``y = X @ coef``.
@@ -41,6 +75,23 @@ class LinearModel:
     coef: np.ndarray | None = field(default=None, repr=False)
     #: Column names, for reporting fitted coefficients.
     feature_names: tuple[str, ...] = ()
+    #: Per-feature fitted ``(min, max)`` of the raw design columns, recorded
+    #: at fit time and persisted with the model so extrapolation-domain
+    #: checks (audit rule FIT004) survive a save/load round trip.
+    feature_ranges: tuple[tuple[float, float], ...] | None = field(
+        default=None, repr=False
+    )
+    #: Raw fit inputs, kept (in-process only, never persisted) so the
+    #: fitted-model auditor can analyse the design without re-plumbing data.
+    fit_design: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
+    fit_target: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
+    fit_weight: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def fit(
         self,
@@ -75,6 +126,18 @@ class LinearModel:
         w = np.asarray(sample_weight, dtype=np.float64)
         if np.any(w < 0):
             raise ValueError("sample weights must be non-negative")
+        dead = np.flatnonzero(np.abs(X).max(axis=0) == 0.0)
+        if dead.size:
+            # An all-zero column would silently divide the column scale away
+            # and leave the coefficient meaningless; this is the runtime twin
+            # of audit rule FIT003.
+            labels = ", ".join(self.feature_labels(X.shape[1])[j] for j in dead)
+            raise ValueError(
+                f"design matrix column{'s' if dead.size != 1 else ''} "
+                f"{labels} {'are' if dead.size != 1 else 'is'} identically "
+                "zero; drop the feature or fix the metric extraction "
+                "(audit rule FIT003)"
+            )
         Xw = X * w[:, None]
         yw = y * w
         scale = np.abs(Xw).max(axis=0)
@@ -87,11 +150,84 @@ class LinearModel:
         else:
             raise ValueError(f"unknown method {self.method!r}")
         self.coef = coef_s / scale
+        self.feature_ranges = tuple(
+            (float(lo), float(hi))
+            for lo, hi in zip(X.min(axis=0), X.max(axis=0))
+        )
+        self.fit_design = X
+        self.fit_target = y
+        self.fit_weight = w
         return self
 
     @property
     def is_fitted(self) -> bool:
         return self.coef is not None
+
+    def feature_labels(self, n: int | None = None) -> tuple[str, ...]:
+        """Column labels: declared names, else positional ``c1..cn``."""
+        if n is None:
+            n = 0 if self.coef is None else self.coef.shape[0]
+        if len(self.feature_names) == n:
+            return self.feature_names
+        return tuple(f"c{i + 1}" for i in range(n))
+
+    def domain_violations(
+        self, X: np.ndarray, factor: float = 10.0
+    ) -> list[DomainViolation]:
+        """Query rows outside ``factor``× the fitted feature ranges.
+
+        A value ``v`` of feature ``j`` violates the domain when
+        ``v > factor * max_j`` or (for strictly positive fitted columns)
+        ``v < min_j / factor`` — the linear model still answers, but the
+        answer is an extrapolation the fit never saw (audit rule FIT004).
+        Returns one aggregated :class:`DomainViolation` per offending
+        feature; empty when the model has no recorded ranges.
+        """
+        if factor <= 0:
+            raise ValueError("extrapolation factor must be positive")
+        if self.feature_ranges is None:
+            return []
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        if X.shape[1] != len(self.feature_ranges):
+            raise ValueError(
+                f"query has {X.shape[1]} columns, fitted ranges cover "
+                f"{len(self.feature_ranges)}"
+            )
+        labels = self.feature_labels(X.shape[1])
+        violations: list[DomainViolation] = []
+        for j, (lo, hi) in enumerate(self.feature_ranges):
+            col = X[:, j]
+            upper = factor * hi
+            over = col > upper
+            under = (
+                col < lo / factor if lo > 0 else np.zeros_like(col, bool)
+            )
+            bad = over | under
+            if not bad.any():
+                continue
+            # Worst offender: largest multiple beyond its violated bound.
+            excess_over = np.where(
+                over, col / upper, 0.0
+            )
+            with np.errstate(divide="ignore"):
+                excess_under = np.where(
+                    under, (lo / factor) / np.maximum(col, 1e-300), 0.0
+                )
+            excess = np.maximum(excess_over, excess_under)
+            worst = int(np.argmax(excess))
+            violations.append(
+                DomainViolation(
+                    feature=labels[j],
+                    value=float(col[worst]),
+                    fitted_min=lo,
+                    fitted_max=hi,
+                    excess=float(excess[worst] * factor),
+                    n_rows=int(bad.sum()),
+                )
+            )
+        return violations
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         if self.coef is None:
@@ -110,7 +246,4 @@ class LinearModel:
         """Named coefficients for reporting."""
         if self.coef is None:
             raise RuntimeError("model is not fitted")
-        names = self.feature_names or tuple(
-            f"c{i + 1}" for i in range(self.coef.shape[0])
-        )
-        return dict(zip(names, self.coef.tolist()))
+        return dict(zip(self.feature_labels(), self.coef.tolist()))

@@ -10,6 +10,7 @@ sizes that would exceed device memory.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -17,7 +18,67 @@ import numpy as np
 
 from repro.benchdata.records import ConvNetFeatures
 from repro.core.epoch import throughput as _throughput
+from repro.core.features import combined_bwd_grad_row, forward_row
+from repro.core.regression import ExtrapolationWarning
 from repro.core.training import TrainingStepModel
+
+#: Default FIT004 extrapolation-domain multiple for scaling curves; pass
+#: ``domain_factor=None`` to a curve function to silence the check.
+DEFAULT_DOMAIN_FACTOR = 10.0
+
+
+def _warn_extrapolation(
+    model: TrainingStepModel,
+    features: ConvNetFeatures,
+    configs: Sequence[tuple[int, int, int]],
+    factor: float | None,
+) -> None:
+    """Emit one :class:`ExtrapolationWarning` when a curve queries the
+    fitted models beyond ``factor``× their fitted feature ranges.
+
+    ``configs`` is the swept ``(batch, devices, nodes)`` set.  Scaling
+    curves are ConvMeter's headline extrapolation surface (Figures 8/9
+    predict past device memory and past the measured cluster), so the
+    check warns — it never blocks — and aggregates the whole sweep into a
+    single warning naming the worst violation (audit rule FIT004).
+    """
+    if factor is None or not configs:
+        return
+    violations = []
+    fwd_rows = np.array(
+        [
+            forward_row(features, b, model.forward.metric_names)
+            for b, _, _ in configs
+        ]
+    )
+    violations += model.forward.model.domain_violations(fwd_rows, factor)
+    single = [
+        model.bwd_grad._single_row(features, b)
+        for b, _, n in configs
+        if n == 1
+    ]
+    if single and model.bwd_grad.single.is_fitted:
+        violations += model.bwd_grad.single.domain_violations(
+            np.array(single), factor
+        )
+    multi = [
+        combined_bwd_grad_row(features, b, d)
+        for b, d, n in configs
+        if n > 1
+    ]
+    if multi and model.bwd_grad.multi.is_fitted:
+        violations += model.bwd_grad.multi.domain_violations(
+            np.array(multi), factor
+        )
+    if violations:
+        worst = max(violations, key=lambda v: v.excess)
+        warnings.warn(
+            f"scaling curve extrapolates beyond {factor:g}x the fitted "
+            f"range on {len(violations)} feature(s); worst: "
+            f"{worst.describe()} (audit rule FIT004)",
+            ExtrapolationWarning,
+            stacklevel=3,
+        )
 
 
 @dataclass(frozen=True)
@@ -45,8 +106,15 @@ def node_scaling_curve(
     per_device_batch: int,
     node_counts: Sequence[int],
     gpus_per_node: int = 4,
+    domain_factor: float | None = DEFAULT_DOMAIN_FACTOR,
 ) -> list[ScalingPoint]:
     """Weak-scaling throughput prediction across node counts (Figure 8)."""
+    _warn_extrapolation(
+        model,
+        features,
+        [(per_device_batch, n * gpus_per_node, n) for n in node_counts],
+        domain_factor,
+    )
     points = []
     for nodes in node_counts:
         devices = nodes * gpus_per_node
@@ -69,10 +137,11 @@ def strong_scaling_curve(
     global_batch: int,
     node_counts: Sequence[int],
     gpus_per_node: int = 4,
+    domain_factor: float | None = DEFAULT_DOMAIN_FACTOR,
 ) -> list[ScalingPoint]:
     """Strong-scaling prediction: the global batch stays fixed, so the
     per-device mini-batch shrinks as devices are added."""
-    points = []
+    configs = []
     for nodes in node_counts:
         devices = nodes * gpus_per_node
         if global_batch % devices:
@@ -80,7 +149,10 @@ def strong_scaling_curve(
                 f"global batch {global_batch} not divisible by {devices} "
                 "devices"
             )
-        b = global_batch // devices
+        configs.append((global_batch // devices, devices, nodes))
+    _warn_extrapolation(model, features, configs, domain_factor)
+    points = []
+    for b, devices, nodes in configs:
         pred = model.predict_one(features, b, devices, nodes)
         points.append(
             ScalingPoint(
@@ -99,13 +171,19 @@ def batch_scaling_curve(
     features: ConvNetFeatures,
     batch_sizes: Sequence[int],
     devices: int = 1,
+    domain_factor: float | None = DEFAULT_DOMAIN_FACTOR,
 ) -> list[ScalingPoint]:
     """Throughput prediction across batch sizes (Figure 9).
 
     Works for any batch size — including ones beyond device memory, the
     paper's "simulating larger batch sizes" use case — because the model is
-    linear in the batch factor, not bound by a measured grid.
+    linear in the batch factor, not bound by a measured grid.  Queries
+    beyond ``domain_factor``× the fitted range raise an
+    :class:`ExtrapolationWarning` (audit rule FIT004) but still predict.
     """
+    _warn_extrapolation(
+        model, features, [(b, devices, 1) for b in batch_sizes], domain_factor
+    )
     points = []
     for batch in batch_sizes:
         pred = model.predict_one(features, batch, devices, nodes=1)

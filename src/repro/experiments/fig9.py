@@ -9,12 +9,14 @@ returns at large batches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.analysis.tables import format_series
 from repro.benchdata.records import ConvNetFeatures
+from repro.core.regression import ExtrapolationWarning
 from repro.core.scalability import ScalingPoint, batch_scaling_curve
 from repro.core.training import TrainingStepModel
 from repro.experiments.common import GPU, SEED_EVAL, training_data
@@ -72,6 +74,10 @@ class BatchScalingCurve:
 class Fig9Result:
     curves: dict[str, BatchScalingCurve]
     batches: tuple[int, ...]
+    #: FIT004 extrapolation notes per model: batches whose design rows fall
+    #: beyond the fitted feature ranges.  Figure 9 extrapolates on purpose
+    #: ("simulating larger batch sizes"); the notes make that explicit.
+    domain_notes: dict[str, tuple[str, ...]] = field(default_factory=dict)
 
     def render(self) -> str:
         sections = []
@@ -95,6 +101,13 @@ class Fig9Result:
                     ),
                 )
             )
+        footer = [
+            f"extrapolation [FIT004] {model}: {note}"
+            for model, notes in sorted(self.domain_notes.items())
+            for note in notes
+        ]
+        if footer:
+            sections.append("\n".join(footer))
         return "\n\n".join(sections)
 
 
@@ -105,11 +118,21 @@ def run_fig9(
     fit_data = training_data()
     executor = SimulatedExecutor(GPU, seed=SEED_EVAL)
     curves: dict[str, BatchScalingCurve] = {}
+    domain_notes: dict[str, tuple[str, ...]] = {}
     for model in models:
         step_model = TrainingStepModel().fit(fit_data.excluding_model(model))
         profile = zoo_profile(model, FIG9_IMAGE)
         features = ConvNetFeatures.from_profile(profile)
-        predicted = batch_scaling_curve(step_model, features, batches)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", ExtrapolationWarning)
+            predicted = batch_scaling_curve(step_model, features, batches)
+        notes = tuple(
+            str(w.message)
+            for w in caught
+            if issubclass(w.category, ExtrapolationWarning)
+        )
+        if notes:
+            domain_notes[model] = notes
         points = []
         for point in predicted:
             measured = measured_std = None
@@ -137,7 +160,9 @@ def run_fig9(
                 )
             )
         curves[model] = BatchScalingCurve(model=model, points=tuple(points))
-    return Fig9Result(curves=curves, batches=tuple(batches))
+    return Fig9Result(
+        curves=curves, batches=tuple(batches), domain_notes=domain_notes
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,6 +14,8 @@ specific hazards that would silently break reproducibility or scalability:
 * ``DET004`` — mutable default arguments
 * ``DET005`` — wall-clock reads (``time.time`` / ``datetime.now``) in
   measurement paths
+* ``DET006`` — ``numpy.linalg.lstsq`` without an explicit ``rcond=``
+  (the silent rank-truncation default differs across numpy versions)
 
 Findings are :class:`repro.diagnostics.Diagnostic` records located by
 ``file:line``.  Suppress a finding with a trailing

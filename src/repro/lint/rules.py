@@ -182,7 +182,27 @@ class _FileLinter(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         self._check_callable_ref(node.func)
+        self._check_lstsq(node)
         self.generic_visit(node)
+
+    # -- DET006: lstsq without an explicit rcond ---------------------------
+
+    def _check_lstsq(self, node: ast.Call) -> None:
+        if self._canonical(node.func) != "numpy.linalg.lstsq":
+            return
+        # rcond is the third positional parameter; either spelling counts
+        # as explicit.
+        explicit = len(node.args) >= 3 or any(
+            kw.arg == "rcond" for kw in node.keywords
+        )
+        if not explicit:
+            self._report(
+                node, "DET006", Severity.WARN,
+                "numpy.linalg.lstsq call without an explicit rcond=",
+                hint="pass rcond=None (or a chosen cutoff); the default "
+                "rank-truncation threshold changed across numpy versions, "
+                "so the implicit value silently alters fitted coefficients",
+            )
 
     def _check_decorators(
         self, node: ast.FunctionDef | ast.AsyncFunctionDef
@@ -334,4 +354,6 @@ LINT_RULES: tuple[LintRule, ...] = (
     LintRule("DET004", Severity.ERROR, "mutable default argument"),
     LintRule("DET005", Severity.ERROR,
              "wall-clock read in a measurement path"),
+    LintRule("DET006", Severity.WARN,
+             "numpy.linalg.lstsq without an explicit rcond="),
 )

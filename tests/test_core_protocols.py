@@ -11,6 +11,7 @@ from repro.core.loo import (
     loo_table_rows,
     shared_fit_evaluation,
 )
+from repro.core.regression import ExtrapolationWarning
 from repro.core.scalability import (
     batch_scaling_curve,
     efficiency,
@@ -183,7 +184,10 @@ class TestScalability:
 
     def test_batch_curve_saturates(self):
         model, features = _fitted_step_model()
-        curve = batch_scaling_curve(model, features, (1, 16, 256, 4096))
+        # Batch 4096 is past 10x the fitted sweep; the curve still answers
+        # but flags the extrapolation (FIT004).
+        with pytest.warns(ExtrapolationWarning):
+            curve = batch_scaling_curve(model, features, (1, 16, 256, 4096))
         t = [p.throughput for p in curve]
         assert t == sorted(t)
         # Relative gain per step shrinks (diminishing returns).
@@ -193,7 +197,8 @@ class TestScalability:
 
     def test_batch_curve_beyond_memory_allowed(self):
         model, features = _fitted_step_model()
-        curve = batch_scaling_curve(model, features, (2**20,))
+        with pytest.warns(ExtrapolationWarning, match="FIT004"):
+            curve = batch_scaling_curve(model, features, (2**20,))
         assert curve[0].throughput > 0
 
     def test_turning_point_detects_flattening(self):

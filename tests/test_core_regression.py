@@ -174,10 +174,43 @@ class TestLinearModel:
         assert coeffs["a"] == pytest.approx(2.0)
         assert coeffs["intercept"] == pytest.approx(1.0)
 
-    def test_zero_column_handled(self):
+    def test_zero_column_rejected(self):
+        # The scaled solve used to divide by an arbitrary fallback for an
+        # identically-zero column; fit now refuses outright (FIT003's
+        # runtime twin).
         X = np.array([[1.0, 0.0, 1.0], [2.0, 0.0, 1.0], [3.0, 0.0, 1.0]])
-        model = LinearModel(weighting="none").fit(X, np.array([1.0, 2.0, 3.0]))
-        assert np.isfinite(model.coef).all()
+        with pytest.raises(ValueError, match="FIT003"):
+            LinearModel(weighting="none").fit(X, np.array([1.0, 2.0, 3.0]))
+
+    def test_zero_column_error_names_the_feature(self):
+        X = np.array([[1.0, 0.0], [2.0, 0.0], [3.0, 0.0]])
+        with pytest.raises(ValueError, match="dead"):
+            LinearModel(
+                weighting="none", feature_names=("x", "dead")
+            ).fit(X, np.array([1.0, 2.0, 3.0]))
+
+    def test_fit_records_feature_ranges(self):
+        X = np.array([[1.0, 1.0], [4.0, 1.0], [2.5, 1.0]])
+        model = LinearModel(weighting="none").fit(
+            X, np.array([3.0, 9.0, 6.0])
+        )
+        assert model.feature_ranges == ((1.0, 4.0), (1.0, 1.0))
+
+    def test_domain_violations_flag_far_queries(self):
+        X = np.array([[1.0, 1.0], [10.0, 1.0], [5.0, 1.0]])
+        model = LinearModel(
+            weighting="none", feature_names=("x", "intercept")
+        ).fit(X, X @ np.array([2.0, 1.0]))
+        inside = model.domain_violations(np.array([[90.0, 1.0]]))
+        assert inside == []
+        out = model.domain_violations(np.array([[250.0, 1.0]]))
+        assert len(out) == 1
+        assert out[0].feature == "x"
+        assert "outside" in out[0].describe()
+        # A tighter factor flags the same query.
+        assert model.domain_violations(
+            np.array([[90.0, 1.0]]), factor=2.0
+        )
 
     @given(
         c1=st.floats(1e-12, 1e-6),

@@ -236,6 +236,14 @@ class TestFig9:
     def test_renders(self, fig9):
         assert "Figure 9" in fig9.render()
 
+    def test_far_extrapolation_is_annotated(self):
+        # Figure 9 extrapolates on purpose; a batch far past the campaign
+        # sweep must surface FIT004 notes in the rendered artefact instead
+        # of a loose warning.
+        result = run_fig9(models=("alexnet",), batches=(1, 64, 10**6))
+        assert result.domain_notes.get("alexnet")
+        assert "FIT004" in result.render()
+
 
 class TestTable4:
     def test_runs_and_renders(self):

@@ -174,6 +174,53 @@ class TestWallClockDET005:
         """) == []
 
 
+class TestLstsqRcondDET006:
+    def test_missing_rcond_fires(self):
+        assert "DET006" in rules_of("""
+            import numpy as np
+            coef, *_ = np.linalg.lstsq(X, y)
+        """)
+
+    def test_aliased_import_fires(self):
+        assert "DET006" in rules_of("""
+            from numpy.linalg import lstsq
+            coef, *_ = lstsq(X, y)
+        """)
+
+    def test_explicit_rcond_keyword_is_clean(self):
+        assert rules_of("""
+            import numpy as np
+            coef, *_ = np.linalg.lstsq(X, y, rcond=None)
+        """) == []
+
+    def test_third_positional_argument_is_clean(self):
+        assert rules_of("""
+            import numpy as np
+            coef, *_ = np.linalg.lstsq(X, y, None)
+        """) == []
+
+    def test_unrelated_lstsq_is_clean(self):
+        assert rules_of("""
+            import scipy.linalg as sla
+            coef = sla.lstsq(X, y)
+        """) == []
+
+    def test_suppression_comment_works(self):
+        assert rules_of("""
+            import numpy as np
+            c, *_ = np.linalg.lstsq(X, y)  # repro-lint: disable=DET006
+        """) == []
+
+    def test_repo_solver_paths_are_clean(self):
+        # The one place the repo calls lstsq (regression.py) and the
+        # audit's VIF computation must both pin rcond explicitly.
+        diags, _ = lint_paths([
+            REPO_SRC / "core" / "regression.py",
+            REPO_SRC / "analysis" / "audit" / "rules.py",
+        ])
+        assert [d for d in diags if d.rule == "DET006"] == []
+
+
 class TestSuppressionAndErrors:
     def test_trailing_comment_suppresses(self):
         assert rules_of("""

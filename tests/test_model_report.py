@@ -50,6 +50,23 @@ class TestBlockReport:
         text = block_report(graph, forward_model, batch=8).render()
         assert "layer1.0" in text and "share" in text
 
+    def test_out_of_domain_batch_carries_fit004_notes(self, forward_model):
+        graph = build_model("resnet18", 128)
+        report = block_report(graph, forward_model, batch=10**6)
+        assert report.domain_notes
+        assert "FIT004" in report.render()
+
+    def test_in_domain_report_has_no_notes(self, forward_model):
+        graph = build_model("resnet18", 128)
+        assert block_report(graph, forward_model, batch=8).domain_notes == ()
+
+    def test_domain_check_can_be_disabled(self, forward_model):
+        graph = build_model("resnet18", 128)
+        report = block_report(
+            graph, forward_model, batch=10**6, domain_factor=None
+        )
+        assert report.domain_notes == ()
+
     def test_blockless_graph_rejected(self, forward_model):
         b = GraphBuilder("flat")
         x = b.input(3, 8, 8)

@@ -1,10 +1,15 @@
 """Model persistence: JSON round-trips for every model kind."""
 
+import json
+import warnings
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.core.forward import ForwardModel
 from repro.core.persistence import (
+    load_audit_block,
     load_model,
     model_from_dict,
     model_to_dict,
@@ -17,6 +22,8 @@ from repro.core.training import (
     TrainingStepModel,
 )
 from tests.test_core_models import synthetic_dataset
+
+DATA_DIR = Path(__file__).resolve().parent / "data"
 
 
 @pytest.fixture(scope="module")
@@ -83,9 +90,93 @@ class TestRoundTrips:
 
     def test_unfitted_model_roundtrip(self, tmp_path):
         path = tmp_path / "unfitted.json"
-        save_model(ForwardModel(), path)
+        # Persisting an unfitted model is suspicious; the audit gate says
+        # so (FIT001) but warn-mode still writes the file.
+        with pytest.warns(RuntimeWarning, match="FIT001"):
+            save_model(ForwardModel(), path)
         loaded = load_model(path)
         assert not loaded.model.is_fitted
+
+
+def _assert_same_structure(expected, actual, path="$"):
+    """Exact keys and shapes; floats to 1e-9 relative (BLAS-stable)."""
+    assert type(expected) is type(actual), path
+    if isinstance(expected, dict):
+        assert sorted(expected) == sorted(actual), path
+        for key in expected:
+            _assert_same_structure(
+                expected[key], actual[key], f"{path}.{key}"
+            )
+    elif isinstance(expected, list):
+        assert len(expected) == len(actual), path
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            _assert_same_structure(e, a, f"{path}[{i}]")
+    elif isinstance(expected, float):
+        assert actual == pytest.approx(expected, rel=1e-9, abs=1e-300), path
+    else:
+        assert expected == actual, path
+
+
+class TestFormatV2Golden:
+    """The persisted format is an interface; pin it."""
+
+    def test_v2_document_matches_golden(self):
+        model = ForwardModel().fit(synthetic_dataset())
+        doc = json.loads(json.dumps(model_to_dict(model)))
+        golden = json.loads(
+            (DATA_DIR / "model_v2_golden.json").read_text()
+        )
+        _assert_same_structure(golden, doc)
+
+    def test_v2_carries_ranges_and_audit(self):
+        model = ForwardModel().fit(synthetic_dataset())
+        doc = model_to_dict(model)
+        assert doc["format"] == 2
+        assert len(doc["linear"]["feature_ranges"]) == len(
+            doc["linear"]["coef"]
+        )
+        assert set(doc["audit"]) == {
+            "errors", "warnings", "infos", "diagnostics"
+        }
+
+    def test_audit_off_omits_block(self):
+        model = ForwardModel().fit(synthetic_dataset())
+        assert "audit" not in model_to_dict(model, audit=False)
+
+    def test_v1_document_loads_without_warnings(self, tmp_path):
+        # Pre-bump artifacts stay loadable, silently: no deprecation
+        # chatter, no audit replay, no feature ranges.
+        v1 = json.loads((DATA_DIR / "model_v1.json").read_text())
+        assert v1["format"] == 1
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(v1))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            loaded = load_model(path)
+        assert loaded.model.is_fitted
+        assert loaded.model.feature_ranges is None
+        assert load_audit_block(path) is None
+
+    def test_v1_and_v2_predict_identically(self, tmp_path):
+        data = synthetic_dataset()
+        model = ForwardModel().fit(data)
+        v2_path = tmp_path / "v2.json"
+        save_model(model, v2_path)
+        v1 = json.loads((DATA_DIR / "model_v1.json").read_text())
+        v1_path = tmp_path / "v1.json"
+        v1_path.write_text(json.dumps(v1))
+        np.testing.assert_allclose(
+            load_model(v1_path).predict(data),
+            load_model(v2_path).predict(data),
+        )
+
+    def test_loaded_model_restores_feature_ranges(self, data, tmp_path):
+        model = ForwardModel().fit(data)
+        path = tmp_path / "fwd.json"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.model.feature_ranges == model.model.feature_ranges
+        assert loaded.model.feature_ranges is not None
 
 
 class TestErrors:
