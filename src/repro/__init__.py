@@ -62,6 +62,7 @@ from repro.hardware import (
     XEON_GOLD_5318Y_CORE,
 )
 from repro.hardware.roofline import zoo_profile
+from repro.trace import NULL_TRACER, Span, Tracer
 from repro.zoo import available_models, build_model
 
 __version__ = "1.0.0"
@@ -115,4 +116,8 @@ __all__ = [
     "SimulatedExecutor",
     "ClusterSpec",
     "DistributedTrainer",
+    # observability
+    "Tracer",
+    "Span",
+    "NULL_TRACER",
 ]

@@ -20,7 +20,9 @@ from repro.benchdata.engine import (
     CampaignStats,
     SweepPoint,
     enumerate_points,
+    point_counters,
     run_campaign,
+    trace_campaign,
     verify_campaign_graphs,
 )
 from repro.benchdata.store import CampaignStore, StoreMismatch
@@ -49,7 +51,9 @@ __all__ = [
     "SweepPoint",
     "VERIFY_MODES",
     "enumerate_points",
+    "point_counters",
     "run_campaign",
+    "trace_campaign",
     "verify_campaign_graphs",
     "DEFAULT_BATCH_SIZES",
     "DEFAULT_IMAGE_SIZES",

@@ -39,13 +39,22 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
+import numpy as np
+
 from repro.benchdata.records import ConvNetFeatures, Dataset, TimingRecord
 from repro.caching import CacheStats, LRUCache
 from repro.diagnostics import Diagnostic, Severity, sort_diagnostics
 from repro.distributed.cluster import ClusterSpec
 from repro.distributed.trainer import DistributedTrainer
 from repro.hardware.device import DeviceSpec
-from repro.hardware.executor import SimulatedExecutor
+from repro.hardware.executor import (
+    SimulatedExecutor,
+    _BWD_BYTES_FACTOR,
+    _BWD_FLOPS_OTHER,
+    _BWD_FLOPS_PARAM,
+    _OPT_BYTES_PER_PARAM,
+    _OPT_FLOPS_PER_PARAM,
+)
 from repro.hardware.memory import fits
 from repro.hardware.roofline import (
     PROFILE_CACHE,
@@ -53,11 +62,13 @@ from repro.hardware.roofline import (
     profile_graph,
     zoo_profile,
 )
+from repro.trace.tracer import merge_counters
 from repro.zoo.blocks import BLOCK_CATALOGUE, build_block
 from repro.zoo.registry import get_entry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store uses spec)
     from repro.benchdata.store import CampaignStore
+    from repro.trace.tracer import Tracer
 
 SCENARIOS = ("inference", "training", "distributed", "blocks")
 
@@ -275,32 +286,101 @@ def _run_verification(spec: CampaignSpec, verify: str) -> int:
     return len(errors)
 
 
-def execute_point(spec: CampaignSpec, point: SweepPoint) -> list[TimingRecord]:
-    """Measure one sweep point; empty list when gated out (OOM / budget).
-
-    Pure in the campaign sense: output depends only on ``(spec, point)``,
-    so any execution order, process placement, or resume split yields the
-    same records.
-    """
-    training = spec.scenario in ("training", "distributed")
+def _point_profile(spec: CampaignSpec, point: SweepPoint) -> CostProfile:
     if spec.scenario == "blocks":
-        profile = block_profile(point.model, point.image_size)
-    else:
-        profile = zoo_profile(point.model, point.image_size)
+        return block_profile(point.model, point.image_size)
+    return zoo_profile(point.model, point.image_size)
+
+
+def _gated(spec: CampaignSpec, point: SweepPoint, profile: CostProfile) -> bool:
+    """True when a point is excluded — out of memory or over the runtime
+    budget.  Gating depends only on ``(spec, point)``, never on whether the
+    point is being measured or traced."""
+    training = spec.scenario in ("training", "distributed")
     if not fits(profile, point.batch, spec.device, training=training):
-        return []
+        return True
+    if spec.max_seconds is None or spec.scenario == "distributed":
+        return False
+    executor = SimulatedExecutor(spec.device, seed=spec.seed)
+    estimate = executor.forward_time_clean(profile, point.batch)
+    if spec.scenario == "training":
+        estimate += executor.backward_time_clean(profile, point.batch)
+    return estimate > spec.max_seconds
+
+
+def point_counters(
+    spec: CampaignSpec, point: SweepPoint, profile: CostProfile
+) -> dict[str, float]:
+    """Analytic work counters of one measured point (per-rank quantities).
+
+    Always on — a handful of vectorised sums per point, independent of
+    tracing — so campaign stats and store manifests are identical whether
+    or not a trace was requested.  Mirrors the accounting the span layer
+    records: forward work for inference, plus backward/optimizer work for
+    training scenarios, plus all-reduce volume when more than one rank
+    participates.
+    """
+    b = float(point.batch)
+    act = float(profile.act_bytes.sum())
+    weights = float(profile.weight_bytes.sum())
+    flops = float(profile.flops.sum()) * b
+    nbytes = act * b + weights
+    if spec.scenario in ("training", "distributed"):
+        factor = np.where(
+            profile.has_params, _BWD_FLOPS_PARAM, _BWD_FLOPS_OTHER
+        )
+        flops += float((profile.flops * factor).sum()) * b
+        nbytes += act * (b * _BWD_BYTES_FACTOR) + weights
+        params = float(profile.param_counts.sum())
+        flops += _OPT_FLOPS_PER_PARAM * params
+        nbytes += _OPT_BYTES_PER_PARAM * params
+    counters = {"flops": flops, "bytes": nbytes}
+    if spec.scenario == "distributed":
+        ranks = point.nodes * spec.gpus_per_node
+        grad_bytes = 4.0 * float(
+            profile.param_counts[profile.has_params].sum()
+        )
+        if ranks > 1 and grad_bytes > 0.0:
+            counters["allreduce_bytes"] = grad_bytes
+    return counters
+
+
+def _measure_point(
+    spec: CampaignSpec,
+    point: SweepPoint,
+    tracer: "Tracer | None" = None,
+) -> tuple[list[TimingRecord], dict[str, float]]:
+    """Measure one sweep point, returning its records and work counters.
+
+    Gated points (OOM / budget) return ``([], {})``.  With a ``tracer``,
+    the measurement is additionally wrapped in a ``model`` span with the
+    per-phase/per-layer spans the executor and trainer emit; the recorded
+    values are identical either way.
+    """
+    profile = _point_profile(spec, point)
+    if _gated(spec, point, profile):
+        return [], {}
     features = ConvNetFeatures.from_profile(profile)
+    tracing = tracer is not None and tracer.enabled
+    if tracing:
+        tracer.begin(
+            point.key,
+            category="model",
+            attrs={
+                "model": point.model,
+                "image_size": point.image_size,
+                "batch": point.batch,
+                "nodes": point.nodes,
+                "rep": point.rep,
+            },
+        )
 
     if spec.scenario in ("inference", "blocks"):
         executor = SimulatedExecutor(spec.device, seed=spec.seed)
-        if (
-            spec.max_seconds is not None
-            and executor.forward_time_clean(profile, point.batch)
-            > spec.max_seconds
-        ):
-            return []
-        t = executor.measure_inference(profile, point.batch, rep=point.rep)
-        return [
+        t = executor.measure_inference(
+            profile, point.batch, rep=point.rep, tracer=tracer
+        )
+        records = [
             TimingRecord(
                 model=point.model,
                 device=spec.device.name,
@@ -314,18 +394,12 @@ def execute_point(spec: CampaignSpec, point: SweepPoint) -> list[TimingRecord]:
                 rep=point.rep,
             )
         ]
-
-    if spec.scenario == "training":
+    elif spec.scenario == "training":
         executor = SimulatedExecutor(spec.device, seed=spec.seed)
-        if spec.max_seconds is not None and (
-            executor.forward_time_clean(profile, point.batch)
-            + executor.backward_time_clean(profile, point.batch)
-        ) > spec.max_seconds:
-            return []
         phases = executor.measure_training_step(
-            profile, point.batch, rep=point.rep
+            profile, point.batch, rep=point.rep, tracer=tracer
         )
-        return [
+        records = [
             TimingRecord(
                 model=point.model,
                 device=spec.device.name,
@@ -341,30 +415,72 @@ def execute_point(spec: CampaignSpec, point: SweepPoint) -> list[TimingRecord]:
                 rep=point.rep,
             )
         ]
-
-    cluster = ClusterSpec(
-        nodes=point.nodes,
-        gpus_per_node=spec.gpus_per_node,
-        device=spec.device,
-    )
-    trainer = DistributedTrainer(cluster, seed=spec.seed)
-    phases = trainer.measure_step(profile, point.batch, rep=point.rep)
-    return [
-        TimingRecord(
-            model=point.model,
-            device=spec.device.name,
-            image_size=point.image_size,
-            batch=point.batch,
+    else:
+        cluster = ClusterSpec(
             nodes=point.nodes,
-            devices=cluster.total_devices,
-            scenario="distributed",
-            features=features,
-            t_fwd=phases.forward,
-            t_bwd=phases.backward,
-            t_grad=phases.grad_update,
-            rep=point.rep,
+            gpus_per_node=spec.gpus_per_node,
+            device=spec.device,
         )
-    ]
+        trainer = DistributedTrainer(cluster, seed=spec.seed)
+        phases = trainer.measure_step(
+            profile, point.batch, rep=point.rep, tracer=tracer
+        )
+        records = [
+            TimingRecord(
+                model=point.model,
+                device=spec.device.name,
+                image_size=point.image_size,
+                batch=point.batch,
+                nodes=point.nodes,
+                devices=cluster.total_devices,
+                scenario="distributed",
+                features=features,
+                t_fwd=phases.forward,
+                t_bwd=phases.backward,
+                t_grad=phases.grad_update,
+                rep=point.rep,
+            )
+        ]
+
+    if tracing:
+        tracer.end()
+    return records, point_counters(spec, point, profile)
+
+
+def execute_point(spec: CampaignSpec, point: SweepPoint) -> list[TimingRecord]:
+    """Measure one sweep point; empty list when gated out (OOM / budget).
+
+    Pure in the campaign sense: output depends only on ``(spec, point)``,
+    so any execution order, process placement, or resume split yields the
+    same records.
+    """
+    return _measure_point(spec, point)[0]
+
+
+def trace_campaign(
+    spec: CampaignSpec,
+    tracer: "Tracer",
+    points: list[SweepPoint] | None = None,
+) -> None:
+    """Re-execute a campaign's sweep serially under ``tracer``.
+
+    Tracing is a post-pass over the enumerated point list, deliberately
+    independent of how the measuring run was parallelised, resumed, or
+    cached: every duration re-derives from point-identity noise seeding
+    (:func:`repro.hardware.noise.point_seed`), so the emitted trace is
+    byte-identical to the one a fresh serial run would produce.  Gated
+    points emit no spans, mirroring their empty record lists.
+    """
+    if points is None:
+        points = enumerate_points(spec)
+    tracer.begin(
+        f"campaign:{spec.scenario}",
+        category="campaign",
+        attrs={"device": spec.device.name, "n_points": len(points)},
+    )
+    for point in points:
+        _measure_point(spec, point, tracer=tracer)
+    tracer.end()
 
 
 # -- process-pool plumbing ---------------------------------------------------
@@ -379,14 +495,15 @@ def _init_worker(spec: CampaignSpec) -> None:
 
 def _run_point_task(
     task: tuple[int, SweepPoint]
-) -> tuple[int, str, list[TimingRecord], CacheStats]:
-    """Executed inside a pool worker; returns per-point cache deltas so the
-    parent can report a campaign-wide hit rate across processes."""
+) -> tuple[int, str, list[TimingRecord], dict[str, float], CacheStats]:
+    """Executed inside a pool worker; returns per-point counter and cache
+    deltas so the parent can aggregate campaign-wide totals across
+    processes."""
     index, point = task
     assert _WORKER_SPEC is not None, "worker pool not initialised"
     before = engine_cache_stats()
-    records = execute_point(_WORKER_SPEC, point)
-    return index, point.key, records, engine_cache_stats() - before
+    records, counters = _measure_point(_WORKER_SPEC, point)
+    return index, point.key, records, counters, engine_cache_stats() - before
 
 
 # -- driver ------------------------------------------------------------------
@@ -411,6 +528,11 @@ class CampaignStats:
     #: ERROR diagnostics from pre-measurement graph verification (always 0
     #: under ``verify="strict"``, which refuses to measure instead).
     n_verify_errors: int = 0
+    #: Work counters aggregated over the points measured by this run, in
+    #: enumeration order (FLOPs executed, bytes moved, all-reduce volume,
+    #: cache hits) — independent of worker count and of whether a trace
+    #: was requested.
+    counters: dict[str, float] = field(default_factory=dict)
 
     @property
     def points_per_second(self) -> float:
@@ -441,6 +563,7 @@ class CampaignStats:
             "cache_misses": self.cache.misses,
             "cache_hit_rate": self.cache.hit_rate,
             "n_verify_errors": self.n_verify_errors,
+            "counters": dict(sorted(self.counters.items())),
         }
 
 
@@ -456,6 +579,7 @@ def run_campaign(
     store: "CampaignStore | None" = None,
     progress: Callable[[int, int], None] | None = None,
     verify: str = "warn",
+    tracer: "Tracer | None" = None,
 ) -> CampaignResult:
     """Execute a campaign and assemble its dataset in enumeration order.
 
@@ -471,6 +595,11 @@ def run_campaign(
     in the stats, ``"strict"`` raises
     :class:`~repro.analysis.verify.GraphVerificationError` instead of
     producing subtly wrong numbers, ``"off"`` skips verification.
+
+    With a ``tracer``, the full sweep is additionally traced via
+    :func:`trace_campaign` after measuring — a serial post-pass, so the
+    trace (and the record stream, and the stats counters) is identical
+    for any ``workers`` value and any resume split.
     """
     n_verify_errors = _run_verification(spec, verify)
     points = enumerate_points(spec)
@@ -480,6 +609,7 @@ def run_campaign(
     ]
 
     results: dict[int, list[TimingRecord]] = {}
+    counters: dict[str, float] = {}
     cache_delta = CacheStats()
     start = time.perf_counter()
     if workers > 1 and pending:
@@ -490,8 +620,11 @@ def run_campaign(
         ) as pool:
             chunksize = max(1, len(pending) // (workers * 8))
             outcomes = pool.map(_run_point_task, pending, chunksize=chunksize)
-            for index, key, records, delta in outcomes:
+            # pool.map yields in submission (= enumeration) order, so the
+            # counter floats accumulate identically to a serial run.
+            for index, key, records, point_delta, delta in outcomes:
                 results[index] = records
+                merge_counters(counters, point_delta)
                 cache_delta += delta
                 if store is not None:
                     store.append(key, records)
@@ -500,9 +633,10 @@ def run_campaign(
     else:
         for index, point in pending:
             before = engine_cache_stats()
-            records = execute_point(spec, point)
+            records, point_delta = _measure_point(spec, point)
             cache_delta += engine_cache_stats() - before
             results[index] = records
+            merge_counters(counters, point_delta)
             if store is not None:
                 store.append(point.key, records)
             if progress is not None:
@@ -516,6 +650,10 @@ def run_campaign(
         else:
             dataset.extend(results[i])
 
+    if tracer is not None and tracer.enabled:
+        trace_campaign(spec, tracer, points)
+
+    merge_counters(counters, cache_delta.as_counters())
     stats = CampaignStats(
         scenario=spec.scenario,
         workers=max(1, workers),
@@ -526,6 +664,7 @@ def run_campaign(
         elapsed_seconds=elapsed,
         cache=cache_delta,
         n_verify_errors=n_verify_errors,
+        counters=counters,
     )
     if store is not None:
         store.finalize(stats)

@@ -57,6 +57,15 @@ class CacheStats:
             f"({self.hit_rate:.0%}), {self.evictions} evictions"
         )
 
+    def as_counters(self) -> dict[str, float]:
+        """The counters in the trace layer's ``name -> float`` shape, for
+        merging into campaign-wide work-counter totals."""
+        return {
+            "cache_hits": float(self.hits),
+            "cache_misses": float(self.misses),
+            "cache_evictions": float(self.evictions),
+        }
+
 
 class LRUCache(Generic[K, V]):
     """A thread-safe least-recently-used cache with a hard size bound."""

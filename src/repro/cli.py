@@ -8,6 +8,8 @@ Mirrors how the paper's tooling would be used operationally::
     repro campaign --scenario inference -o data.json
     repro campaign --scenario inference --workers 8 \
                    --store runs/gpu --resume -o data.json
+    repro trace alexnet --format chrome -o trace.json
+    repro campaign --scenario training --trace trace.json -o data.json
     repro fit --data data.json --kind forward -o model.json
     repro audit model.json --data data.json    # fitted-model auditor
     repro predict --model model.json --network resnet50 \
@@ -121,6 +123,8 @@ def _campaign_spec(args: argparse.Namespace) -> CampaignSpec:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.trace import Tracer, write_chrome
+
     spec = _campaign_spec(args)
     verify = "strict" if args.strict else ("off" if args.no_verify else "warn")
     store = (
@@ -128,9 +132,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         if args.store
         else None
     )
+    tracer = Tracer() if args.trace else None
     try:
         result = run_campaign(
-            spec, workers=args.workers, store=store, verify=verify
+            spec, workers=args.workers, store=store, verify=verify,
+            tracer=tracer,
         )
     finally:
         if store is not None:
@@ -139,6 +145,51 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     data.to_json(args.out)
     print(f"wrote {len(data)} records to {args.out} ({data.summary()})")
     print(result.stats.summary())
+    if tracer is not None:
+        n_events = write_chrome(tracer, args.trace)
+        print(f"wrote {n_events} trace events to {args.trace}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.hardware.memory import OutOfDeviceMemory
+    from repro.trace import chrome_json, render_tree, to_json
+    from repro.trace.run import trace_model
+
+    if args.model not in available_models():
+        print(
+            f"trace: unknown model {args.model!r}; see `repro models`",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        tracer = trace_model(
+            args.model,
+            get_device(args.device),
+            image_size=args.image,
+            batch=args.batch,
+            phase=args.phase,
+            nodes=args.nodes,
+            gpus_per_node=args.gpus_per_node,
+            seed=args.seed,
+        )
+    except OutOfDeviceMemory as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "tree":
+        text = render_tree(tracer)
+    elif args.format == "json":
+        text = to_json(tracer)
+    else:
+        text = chrome_json(tracer)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        spans = sum(1 for root in tracer.roots for _ in root.walk())
+        print(f"wrote {spans} spans ({args.format}) to {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -432,8 +483,42 @@ def build_parser() -> argparse.ArgumentParser:
                                "and measure anyway)")
     campaign.add_argument("--no-verify", action="store_true",
                           help="skip pre-measurement graph verification")
+    campaign.add_argument("--trace", default=None, metavar="PATH",
+                          help="also write a Chrome-format trace of the "
+                               "full sweep (serial post-pass; records and "
+                               "stats are unchanged)")
     campaign.add_argument("-o", "--out", required=True)
     campaign.set_defaults(func=_cmd_campaign)
+
+    trace = sub.add_parser(
+        "trace",
+        help="trace one simulated measurement (spans + work counters)",
+        epilog="exit codes: 0 = trace written, 1 = configuration does not "
+               "fit device memory, 2 = unknown model",
+    )
+    trace.add_argument("model", help="zoo model name (see `repro models`)")
+    trace.add_argument("--device", default="a100-80gb",
+                       choices=sorted(DEVICE_PRESETS))
+    trace.add_argument("--image", type=int, default=224,
+                       help="square image size (clamped up to the model's "
+                            "minimum)")
+    trace.add_argument("--batch", type=int, default=1)
+    trace.add_argument("--phase",
+                       choices=("inference", "step", "distributed"),
+                       default="inference",
+                       help="what to measure: forward pass, single-device "
+                            "training step, or data-parallel step")
+    trace.add_argument("--nodes", type=int, default=2,
+                       help="cluster nodes (--phase distributed)")
+    trace.add_argument("--gpus-per-node", type=int, default=4)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--format", choices=("tree", "json", "chrome"),
+                       default="tree",
+                       help="text tree, full span JSON, or a "
+                            "chrome://tracing / Perfetto-loadable file")
+    trace.add_argument("-o", "--out", default=None,
+                       help="write to a file instead of stdout")
+    trace.set_defaults(func=_cmd_trace)
 
     fit = sub.add_parser("fit", help="fit a performance model")
     fit.add_argument("--data", required=True, help="campaign JSON file")
@@ -489,7 +574,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout was closed early (e.g. `repro trace ... | head`); exit
+        # quietly on a detached stream rather than dumping a traceback.
+        sys.stderr.close()
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

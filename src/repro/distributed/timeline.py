@@ -16,6 +16,7 @@ import json
 from pathlib import Path
 
 from repro.distributed.trainer import TrainingStepTrace
+from repro.trace.export import chrome_payload
 
 
 def trace_to_chrome(trace: TrainingStepTrace, label: str = "step") -> list[dict]:
@@ -77,7 +78,7 @@ def write_chrome_trace(
     trace: TrainingStepTrace, path: str | Path, label: str = "step"
 ) -> None:
     """Write a ``chrome://tracing``-loadable JSON file."""
-    payload = {"traceEvents": trace_to_chrome(trace, label)}
+    payload = chrome_payload(trace_to_chrome(trace, label))
     Path(path).write_text(json.dumps(payload))
 
 

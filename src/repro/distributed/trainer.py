@@ -17,6 +17,7 @@ jointly (Section 3.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -36,10 +37,15 @@ from repro.hardware.executor import (
     _BWD_BYTES_FACTOR,
     _BWD_FLOPS_OTHER,
     _BWD_FLOPS_PARAM,
+    _OPT_BYTES_PER_PARAM,
+    _OPT_FLOPS_PER_PARAM,
 )
 from repro.hardware.memory import check_fits
 from repro.hardware.noise import lognormal_factor, lognormal_vector, point_seed
 from repro.hardware.roofline import CostProfile, layer_times
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.trace.tracer import Tracer
 
 
 #: Fixed per-bucket Horovod negotiation overhead, seconds.
@@ -137,8 +143,17 @@ class DistributedTrainer:
         per_device_batch: int,
         rep: int = 0,
         enforce_memory: bool = True,
+        tracer: "Tracer | None" = None,
     ) -> TrainingStepTrace:
-        """Simulate one training step with mini-batch ``per_device_batch``."""
+        """Simulate one training step with mini-batch ``per_device_batch``.
+
+        With a ``tracer``, emits the step's timeline as spans for one
+        representative rank (synchronous data parallelism makes the ranks
+        symmetric): ``forward`` / ``backward`` / ``grad_update`` compute
+        phases with per-layer children, plus one ``comm``-track span per
+        fused all-reduce placed at its true offset, overlapping the
+        backward sweep exactly as the simulated schedule does.
+        """
         if enforce_memory:
             check_fits(
                 profile, per_device_batch, self.cluster.device, training=True
@@ -146,11 +161,20 @@ class DistributedTrainer:
         device = self.cluster.device
         n_ranks = self.cluster.total_devices
         name = profile.graph_name
+        tracing = tracer is not None and tracer.enabled
+        # Offset of this step within the enclosing span — comm spans are
+        # placed at explicit offsets and must not assume they start at 0.
+        origin = tracer.elapsed() if tracing else 0.0
 
         fwd_sigma = self._sync_sigma(device.noise_sigma)
+        fwd_noise = self._noise(fwd_sigma, name, per_device_batch, "fwd", rep)
         fwd = self.executor.forward_time_clean(
             profile, per_device_batch
-        ) * self._noise(fwd_sigma, name, per_device_batch, "fwd", rep)
+        ) * fwd_noise
+        if tracing:
+            self.executor._trace_phase(
+                tracer, "forward", profile, per_device_batch, fwd_noise, fwd
+            )
 
         # Per-layer backward times, swept in reverse topological order.
         flops_factor = np.where(
@@ -174,6 +198,22 @@ class DistributedTrainer:
         bwd_layer_times = bwd_layer_times * bwd_noise
         completion = np.cumsum(bwd_layer_times)
         bwd_end = float(completion[-1]) + device.base_overhead
+        if tracing:
+            from repro.trace.tracer import record_layer_phase
+
+            record_layer_phase(
+                tracer,
+                "backward",
+                profile.span_names()[::-1],
+                bwd_layer_times,
+                (profile.flops * (per_device_batch * flops_factor))[::-1],
+                (
+                    profile.act_bytes
+                    * (per_device_batch * _BWD_BYTES_FACTOR)
+                    + profile.weight_bytes
+                )[::-1],
+                bwd_end,
+            )
 
         # Gradient tensors become ready as their layer's backward completes.
         grad_mask = profile.has_params[::-1]
@@ -205,9 +245,39 @@ class DistributedTrainer:
             comm_end = max(bwd_end, comm_cursor)
 
         exposed_comm = max(0.0, comm_end - bwd_end)
-        grad_phase = exposed_comm + optimizer_time * self._noise(
+        opt_noisy = optimizer_time * self._noise(
             device.noise_sigma, name, per_device_batch, "opt", rep
         )
+        grad_phase = exposed_comm + opt_noisy
+
+        if tracing:
+            # All-reduces overlap the backward sweep; place them on the comm
+            # track at their simulated offsets within this step.
+            for i, b in enumerate(buckets):
+                tracer.add_at(
+                    f"allreduce[{i}]",
+                    origin + fwd + b.start,
+                    b.end - b.start,
+                    category="comm",
+                    track="comm",
+                    attrs={"bytes": b.bucket.nbytes, "ranks": n_ranks},
+                )
+                tracer.count("allreduce_bytes", b.bucket.nbytes)
+            params = float(profile.param_counts.sum())
+            opt_flops = _OPT_FLOPS_PER_PARAM * params
+            opt_bytes = _OPT_BYTES_PER_PARAM * params
+            tracer.begin("grad_update", category="phase")
+            if exposed_comm > 0.0:
+                tracer.add("exposed_comm", exposed_comm, category="comm")
+            tracer.add(
+                "optimizer",
+                opt_noisy,
+                category="optimizer",
+                attrs={"flops": opt_flops, "bytes": opt_bytes},
+            )
+            tracer.count("flops", opt_flops)
+            tracer.count("bytes", opt_bytes)
+            tracer.end(grad_phase)
 
         phases = PhaseTimes(
             forward=fwd, backward=bwd_end, grad_update=grad_phase
@@ -226,8 +296,9 @@ class DistributedTrainer:
         per_device_batch: int,
         rep: int = 0,
         enforce_memory: bool = True,
+        tracer: "Tracer | None" = None,
     ) -> PhaseTimes:
         """Phase times only — the record the campaign stores."""
         return self.run_step(
-            profile, per_device_batch, rep, enforce_memory
+            profile, per_device_batch, rep, enforce_memory, tracer=tracer
         ).phases

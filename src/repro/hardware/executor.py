@@ -9,6 +9,7 @@ weight/gradient update) on one device.  Distributed runs build on this via
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -17,6 +18,9 @@ from repro.hardware.device import DeviceSpec
 from repro.hardware.memory import check_fits
 from repro.hardware.noise import lognormal_factor, point_seed
 from repro.hardware.roofline import CostProfile, layer_times, profile_graph
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.trace.tracer import Tracer
 
 #: Backward FLOPs of a parametric layer ≈ 2× forward (input-gradient plus
 #: weight-gradient GEMMs); non-parametric layers only propagate gradients.
@@ -122,6 +126,65 @@ class SimulatedExecutor:
         """
         return layer_times(profile, batch, self.device)
 
+    # -- span emission -------------------------------------------------------
+
+    def _trace_phase(
+        self,
+        tracer: "Tracer",
+        name: str,
+        profile: CostProfile,
+        batch: int,
+        noise: float,
+        total: float,
+        flops_factor=1.0,
+        bytes_factor: float = 1.0,
+        reverse: bool = False,
+    ) -> None:
+        """Emit one compute phase as per-layer spans tiling ``[0, total]``.
+
+        The per-layer durations are the roofline layer times scaled by the
+        phase's measured noise factor; the framework base overhead (and
+        float dust) lands in a closing ``overhead`` span, so the children
+        sum exactly to the measured phase total.  ``reverse`` emits layers
+        in reverse topological order — the backward sweep.
+        """
+        from repro.trace.tracer import record_layer_phase
+
+        times = layer_times(
+            profile,
+            batch,
+            self.device,
+            flops_factor=flops_factor,
+            bytes_factor=bytes_factor,
+        ) * noise
+        flops = profile.flops * (batch * flops_factor)
+        nbytes = (
+            profile.act_bytes * (batch * bytes_factor) + profile.weight_bytes
+        )
+        names = profile.span_names()
+        if reverse:
+            times, flops, nbytes = times[::-1], flops[::-1], nbytes[::-1]
+            names = names[::-1]
+        record_layer_phase(tracer, name, names, times, flops, nbytes, total)
+
+    def _trace_grad_update(
+        self, tracer: "Tracer", profile: CostProfile, total: float
+    ) -> None:
+        """Emit the optimizer step as a single span of the measured total."""
+        params = float(profile.param_counts.sum())
+        flops = _OPT_FLOPS_PER_PARAM * params
+        nbytes = _OPT_BYTES_PER_PARAM * params
+        tracer.begin("grad_update", category="phase")
+        tracer.add(
+            "optimizer",
+            total,
+            category="optimizer",
+            attrs={"flops": flops, "bytes": nbytes},
+        )
+        tracer.count("flops", flops)
+        tracer.count("bytes", nbytes)
+        tracer.end(total)
+
     # -- measurements --------------------------------------------------------
 
     def measure_inference(
@@ -130,13 +193,23 @@ class SimulatedExecutor:
         batch: int,
         rep: int = 0,
         enforce_memory: bool = True,
+        tracer: "Tracer | None" = None,
     ) -> float:
-        """One noisy inference measurement, seconds."""
+        """One noisy inference measurement, seconds.
+
+        With a ``tracer``, emits a ``forward`` phase span whose per-layer
+        children sum exactly to the returned time; the measurement itself
+        is unchanged (tracing never perturbs the noise stream).
+        """
         profile = self._as_profile(graph_or_profile)
         if enforce_memory:
             check_fits(profile, batch, self.device, training=False)
         clean = self.forward_time_clean(profile, batch)
-        return clean * self._noise(profile.graph_name, batch, "inference", rep)
+        noise = self._noise(profile.graph_name, batch, "inference", rep)
+        total = clean * noise
+        if tracer is not None and tracer.enabled:
+            self._trace_phase(tracer, "forward", profile, batch, noise, total)
+        return total
 
     def measure_training_step(
         self,
@@ -144,21 +217,43 @@ class SimulatedExecutor:
         batch: int,
         rep: int = 0,
         enforce_memory: bool = True,
+        tracer: "Tracer | None" = None,
     ) -> PhaseTimes:
-        """One noisy single-device training-step measurement."""
+        """One noisy single-device training-step measurement.
+
+        With a ``tracer``, emits ``forward`` / ``backward`` / ``grad_update``
+        phase spans (backward layers in reverse topological order); each
+        phase's children sum exactly to the corresponding returned time.
+        """
         profile = self._as_profile(graph_or_profile)
         if enforce_memory:
             check_fits(profile, batch, self.device, training=True)
         name = profile.graph_name
-        fwd = self.forward_time_clean(profile, batch) * self._noise(
-            name, batch, "fwd", rep
-        )
-        bwd = self.backward_time_clean(profile, batch) * self._noise(
-            name, batch, "bwd", rep
-        )
+        fwd_noise = self._noise(name, batch, "fwd", rep)
+        fwd = self.forward_time_clean(profile, batch) * fwd_noise
+        bwd_noise = self._noise(name, batch, "bwd", rep)
+        bwd = self.backward_time_clean(profile, batch) * bwd_noise
         grad = self.grad_update_time_clean(profile) * self._noise(
             name, batch, "grad", rep
         )
+        if tracer is not None and tracer.enabled:
+            self._trace_phase(
+                tracer, "forward", profile, batch, fwd_noise, fwd
+            )
+            self._trace_phase(
+                tracer,
+                "backward",
+                profile,
+                batch,
+                bwd_noise,
+                bwd,
+                flops_factor=np.where(
+                    profile.has_params, _BWD_FLOPS_PARAM, _BWD_FLOPS_OTHER
+                ),
+                bytes_factor=_BWD_BYTES_FACTOR,
+                reverse=True,
+            )
+            self._trace_grad_update(tracer, profile, grad)
         return PhaseTimes(forward=fwd, backward=bwd, grad_update=grad)
 
     def _as_profile(

@@ -97,6 +97,12 @@ class CostProfile:
     input_elems: np.ndarray   # float64[L]: per-sample input tensor sizes
     output_elems: np.ndarray  # float64[L]: per-sample activation footprint
     is_conv: np.ndarray       # bool[L]
+    #: Graph node names / layer types, aligned with the cost arrays — the
+    #: labels the tracing layer puts on per-layer spans.  Empty tuples on
+    #: profiles built before these fields existed; span emission falls
+    #: back to positional names.
+    layer_names: tuple[str, ...] = ()
+    layer_types: tuple[str, ...] = ()
 
     @property
     def n_layers(self) -> int:
@@ -148,7 +154,15 @@ class CostProfile:
                 [c.output_elems for c in costs], dtype=np.float64
             ),
             is_conv=np.array([c.is_conv for c in costs], dtype=bool),
+            layer_names=tuple(c.name for c in costs),
+            layer_types=tuple(c.layer_type for c in costs),
         )
+
+    def span_names(self) -> tuple[str, ...]:
+        """Per-layer span labels; positional fallbacks for old profiles."""
+        if len(self.layer_names) == self.n_layers:
+            return self.layer_names
+        return tuple(f"layer[{i}]" for i in range(self.n_layers))
 
 
 def profile_graph(graph: ComputeGraph) -> CostProfile:

@@ -1,0 +1,79 @@
+"""Single-measurement tracing driver — the engine behind ``repro trace``.
+
+Builds one zoo model, runs one simulated measurement under a live
+:class:`~repro.trace.tracer.Tracer`, and returns the closed tracer for
+export.  Kept out of :mod:`repro.trace`'s package ``__init__`` on purpose:
+this module pulls in the zoo and hardware stacks, which the core span
+machinery must stay importable without.
+"""
+
+from __future__ import annotations
+
+from repro.distributed.cluster import ClusterSpec
+from repro.distributed.trainer import DistributedTrainer
+from repro.hardware.device import DeviceSpec
+from repro.hardware.executor import SimulatedExecutor
+from repro.hardware.roofline import zoo_profile
+from repro.trace.tracer import Tracer
+from repro.zoo.registry import get_entry
+
+#: Measurement phases ``repro trace`` understands.
+TRACE_PHASES = ("inference", "step", "distributed")
+
+
+def trace_model(
+    model: str,
+    device: DeviceSpec,
+    image_size: int = 224,
+    batch: int = 1,
+    phase: str = "inference",
+    nodes: int = 1,
+    gpus_per_node: int = 4,
+    seed: int = 0,
+    rep: int = 0,
+) -> Tracer:
+    """Trace one simulated measurement of ``model``; returns the tracer.
+
+    ``phase`` selects what is measured: a forward pass (``inference``), a
+    single-device training step (``step``), or a data-parallel training
+    step on a ``nodes × gpus_per_node`` cluster (``distributed``).  The
+    image size is clamped up to the model's architectural minimum, the
+    same courtesy ``repro verify`` extends.  Raises
+    :class:`~repro.hardware.memory.OutOfDeviceMemory` when the
+    configuration does not fit the device, and :class:`KeyError` for an
+    unknown model.
+    """
+    if phase not in TRACE_PHASES:
+        raise ValueError(f"unknown phase {phase!r}; one of {TRACE_PHASES}")
+    image = max(image_size, get_entry(model).min_image_size)
+    profile = zoo_profile(model, image)
+
+    tracer = Tracer()
+    tracer.begin(
+        f"{model}@{image} b={batch}",
+        category="model",
+        attrs={
+            "model": model,
+            "image_size": image,
+            "batch": batch,
+            "device": device.name,
+            "phase": phase,
+            "seed": seed,
+            "rep": rep,
+        },
+    )
+    if phase == "inference":
+        executor = SimulatedExecutor(device, seed=seed)
+        executor.measure_inference(profile, batch, rep=rep, tracer=tracer)
+    elif phase == "step":
+        executor = SimulatedExecutor(device, seed=seed)
+        executor.measure_training_step(profile, batch, rep=rep, tracer=tracer)
+    else:
+        cluster = ClusterSpec(
+            nodes=nodes, gpus_per_node=gpus_per_node, device=device
+        )
+        trainer = DistributedTrainer(cluster, seed=seed)
+        trainer.measure_step(profile, batch, rep=rep, tracer=tracer)
+    tracer.end()
+    tracer.require_closed()
+    return tracer

@@ -8,6 +8,7 @@ fresh runs, plus the store's refusal modes.
 """
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -18,9 +19,11 @@ from repro.benchdata import (
     enumerate_points,
     inference_campaign,
     run_campaign,
+    trace_campaign,
     training_campaign,
 )
 from repro.hardware.device import A100_80GB
+from repro.trace import Tracer, chrome_json
 
 #: Reference sweep: 3 models across a batch/image grid (the acceptance
 #: campaign), small enough to run repeatedly in the unit suite.
@@ -222,6 +225,89 @@ class TestResume:
         # The gate decision itself was restored — nothing re-measured.
         assert second.stats.n_executed == 0
         assert second.dataset.records == first.dataset.records
+
+
+class TestTraceDeterminism:
+    """The campaign trace is a pure function of the spec: byte-identical
+    Chrome output for any worker count and any resume split, and requesting
+    it never changes the record stream."""
+
+    @staticmethod
+    def _traced_run(workers, store=None):
+        tracer = Tracer()
+        result = run_campaign(
+            REFERENCE_SPEC, workers=workers, store=store, tracer=tracer
+        )
+        return result, chrome_json(tracer)
+
+    def test_trace_bytes_identical_across_worker_counts(self):
+        _, serial = self._traced_run(1)
+        _, parallel = self._traced_run(4)
+        assert serial == parallel
+
+    def test_trace_bytes_identical_across_resume(self, tmp_path):
+        _, fresh = self._traced_run(1)
+        directory = tmp_path / "run"
+        with CampaignStore.open(directory, REFERENCE_SPEC) as store:
+            run_campaign(REFERENCE_SPEC, workers=1, store=store)
+        log = directory / "records.jsonl"
+        lines = log.read_text().splitlines()
+        log.write_text("\n".join(lines[: len(lines) // 3]) + "\n")
+        with CampaignStore.open(
+            directory, REFERENCE_SPEC, resume=True
+        ) as store:
+            resumed, resumed_trace = self._traced_run(2, store=store)
+        assert resumed.stats.n_restored > 0
+        assert resumed_trace == fresh
+
+    def test_records_byte_identical_with_and_without_trace(
+        self, serial_result
+    ):
+        traced, _ = self._traced_run(1)
+        assert _dataset_bytes(traced.dataset) == _dataset_bytes(
+            serial_result.dataset
+        )
+
+    def test_standalone_trace_campaign_matches_run_campaign_trace(self):
+        _, from_run = self._traced_run(1)
+        tracer = Tracer()
+        trace_campaign(REFERENCE_SPEC, tracer)
+        assert chrome_json(tracer) == from_run
+
+    def test_work_counters_identical_serial_vs_parallel(self):
+        serial = run_campaign(REFERENCE_SPEC, workers=1)
+        parallel = run_campaign(REFERENCE_SPEC, workers=4)
+
+        def work(stats):
+            # Cache warmth legitimately differs across process layouts;
+            # the measured work must not.
+            return {
+                k: v for k, v in stats.counters.items()
+                if not k.startswith("cache_")
+            }
+
+        assert work(serial.stats) == work(parallel.stats)
+        assert serial.stats.counters["flops"] > 0.0
+        assert serial.stats.counters["cache_hits"] >= 0.0
+
+    def test_counters_survive_the_manifest_round_trip(self, tmp_path):
+        directory = tmp_path / "run"
+        with CampaignStore.open(directory, REFERENCE_SPEC) as store:
+            result = run_campaign(REFERENCE_SPEC, workers=1, store=store)
+        manifest = json.loads((directory / "manifest.json").read_text())
+        assert manifest["stats"]["counters"] == dict(
+            sorted(result.stats.counters.items())
+        )
+
+    def test_trace_module_passes_the_determinism_linter(self):
+        from repro.lint import lint_paths
+
+        trace_dir = (
+            Path(__file__).parent.parent / "src" / "repro" / "trace"
+        )
+        diags, n_files = lint_paths([str(trace_dir)])
+        assert n_files >= 3
+        assert diags == [], [d.render() for d in diags]
 
 
 class TestStatsCounters:

@@ -86,6 +86,86 @@ class TestCampaign:
         assert n_fast < n_slow
 
 
+class TestTraceCommand:
+    def test_tree_format_to_stdout(self, capsys):
+        rc = main(["trace", "alexnet", "--device", "xeon-gold-5318y-core"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "alexnet@224 b=1" in out
+        assert "forward" in out
+        assert "counters:" in out
+
+    def test_json_format(self, capsys):
+        rc = main(["trace", "alexnet", "--format", "json", "--image", "64"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["spans"][0]["category"] == "model"
+
+    def test_chrome_format_written_to_file(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        rc = main(
+            ["trace", "alexnet", "--format", "chrome", "--phase", "step",
+             "--image", "64", "-o", str(path)]
+        )
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert events
+        assert all(
+            e["ph"] == "X" and "ts" in e and "dur" in e for e in events
+        )
+
+    def test_distributed_phase(self, tmp_path):
+        path = tmp_path / "trace.json"
+        rc = main(
+            ["trace", "resnet18", "--phase", "distributed", "--nodes", "2",
+             "--image", "64", "--batch", "32", "--format", "chrome",
+             "-o", str(path)]
+        )
+        assert rc == 0
+        events = json.loads(path.read_text())["traceEvents"]
+        assert any(e["tid"] == 1 for e in events), "no comm row"
+
+    def test_unknown_model_exits_2(self, capsys):
+        rc = main(["trace", "not-a-model"])
+        assert rc == 2
+        assert "unknown model" in capsys.readouterr().err
+
+    def test_out_of_memory_exits_1(self, capsys):
+        rc = main(["trace", "vgg16", "--batch", str(2 ** 17)])
+        assert rc == 1
+        assert "trace:" in capsys.readouterr().err
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "alexnet", "--format", "xml"])
+
+    def test_campaign_trace_flag_round_trips_through_store(self, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        store = tmp_path / "store"
+        rc = main(
+            [
+                "campaign",
+                "--scenario", "inference",
+                "--models", "alexnet",
+                "--device", "xeon-gold-5318y-core",
+                "--store", str(store),
+                "--trace", str(trace_path),
+                "-o", str(tmp_path / "data.json"),
+            ]
+        )
+        assert rc == 0
+        events = json.loads(trace_path.read_text())["traceEvents"]
+        assert events[0]["cat"] == "campaign"
+        manifest = json.loads((store / "manifest.json").read_text())
+        counters = manifest["stats"]["counters"]
+        assert counters["flops"] > 0
+        assert counters["bytes"] > 0
+        assert "cache_hits" in counters
+
+
 class TestFitAndPredict:
     def test_fit_forward(self, campaign_file, tmp_path, capsys):
         model_path = tmp_path / "model.json"
