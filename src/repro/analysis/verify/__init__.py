@@ -18,6 +18,7 @@ from repro.analysis.verify.rules import (
     VerifyRule,
     verify_graph,
     verify_model,
+    verify_transform,
 )
 from repro.diagnostics import Diagnostic, Severity
 
@@ -29,4 +30,5 @@ __all__ = [
     "IR_RULES",
     "verify_graph",
     "verify_model",
+    "verify_transform",
 ]

@@ -24,6 +24,11 @@ IR005     ERROR/WARN parameter sanity: positive dims, valid dropout p,
                      (skipped pixels) is WARN
 IR006     ERROR      batch scaling: F/I/O/activations linear in batch,
                      Weights/Layers batch-invariant
+IR007     INFO       unfused BatchNorm present in an inference-profiled
+                     graph (the fusion pipeline would fold it)
+IR008     ERROR      transform preservation: parameter count and conv
+                     FLOPs conserved, output shape identical across a
+                     pass pipeline (:func:`verify_transform`)
 ========  =========  ====================================================
 """
 
@@ -35,9 +40,12 @@ from typing import Callable, Iterable, Iterator, Sequence
 from repro.diagnostics import Diagnostic, Severity, sort_diagnostics
 from repro.graph.graph import ComputeGraph, Node
 from repro.graph.layers import (
+    Add,
     AvgPool2d,
+    BatchNorm2d,
     Conv2d,
     Dropout,
+    FusedConv2d,
     Input,
     Linear,
     MaxPool2d,
@@ -116,10 +124,12 @@ def check_dead_layers(
             "IR002", Severity.ERROR, _loc(graph), "graph has no nodes"
         )
         return
-    consumed = {parent for n in graph for parent in n.inputs}
-    sink = graph.nodes[-1]  # by convention the last topological node
+    # Transitive reachability from the sink — the same walk the
+    # EliminateDeadLayers pass removes nodes by, so verifier and rewriter
+    # agree on what "dead" means (a whole orphaned chain, not just its tip).
+    reachable = graph.reachable_from_sink()
     for node in graph:
-        if node.name in consumed or node.name == sink.name:
+        if node.name in reachable:
             continue
         if isinstance(node.layer, Input):
             yield Diagnostic(
@@ -262,6 +272,37 @@ def check_metric_accounting(
 # -- IR005: parameter sanity ---------------------------------------------------
 
 
+def _is_downsample_shortcut(graph: ComputeGraph, node: Node) -> bool:
+    """Recognise torchvision's canonicalized residual downsample projection.
+
+    A 1×1 stride-2 pad-0 convolution *does* skip three of every four input
+    pixels — but when its sole consumer chain is ``conv [-> bn] -> add``
+    (the ResNet-family shortcut branch, with the BatchNorm possibly
+    already folded into the conv), that subsampling is the architecture's
+    deliberate way of matching the main branch's stride.  Warning on it
+    made every ResNet-family model noisy; the pattern is suppressed and
+    anything else keeps the WARN.
+    """
+    layer = node.layer
+    if not isinstance(layer, Conv2d):
+        return False
+    kh, kw = _pair(layer.kernel_size)
+    if (kh, kw) != (1, 1):
+        return False
+    current = node
+    for _ in range(2):  # conv -> add, or conv -> bn -> add
+        successors = graph.successors(current.name)
+        if len(successors) != 1:
+            return False
+        nxt = successors[0]
+        if isinstance(nxt.layer, Add):
+            return True
+        if not isinstance(nxt.layer, BatchNorm2d):
+            return False
+        current = nxt
+    return False
+
+
 def _check_window(
     graph: ComputeGraph, node: Node, kernel, stride, padding, dilation: int
 ) -> Iterator[Diagnostic]:
@@ -293,6 +334,8 @@ def _check_window(
             f"{name} has dilation {dilation} < 1",
         )
     if (sh > kh * dilation and ph == 0) or (sw > kw * dilation and pw == 0):
+        if _is_downsample_shortcut(graph, node):
+            return
         yield Diagnostic(
             "IR005",
             Severity.WARN,
@@ -419,6 +462,131 @@ def check_batch_scaling(
                 )
 
 
+# -- IR007: unfused BatchNorm advisory ----------------------------------------
+
+
+def check_unfused_batchnorm(
+    graph: ComputeGraph, summary: CostSummary | None
+) -> Iterator[Diagnostic]:
+    """Advisory: the graph still carries *foldable* BatchNorm layers.
+
+    Deployed inference stacks fold these into the preceding convolution, so
+    an inference-profiled raw graph over-counts elementwise FLOPs and
+    memory traffic relative to what hardware actually runs.  Only the
+    layers the ``fold-batchnorm`` pass would actually absorb are counted —
+    DenseNet's post-concat norms, for example, have no producing conv and
+    stay standalone on real runtimes too.  One INFO per graph (not per
+    layer — ResNet-152 would emit 151 otherwise).
+    """
+    from repro.graph.passes import FoldBatchNorm
+
+    count = sum(
+        1 for n in graph if FoldBatchNorm._foldable(graph, n) is not None
+    )
+    if count:
+        yield Diagnostic(
+            "IR007",
+            Severity.INFO,
+            _loc(graph),
+            f"{count} foldable BatchNorm layer(s) left unfused in an "
+            "inference-profiled graph",
+            hint="apply the fusion pipeline (repro transform, or --fuse on "
+            "trace/campaign/predict) to cost the graph deployment runtimes "
+            "actually execute",
+        )
+
+
+# -- IR008: transform semantic preservation -----------------------------------
+
+
+def _primary_conv_flops(graph: ComputeGraph) -> int:
+    """Summed convolution FLOPs, excluding any fused activation epilogue.
+
+    Folding a BatchNorm rescales kernels in place and absorbing an
+    activation only appends clamp arithmetic, so this quantity is exactly
+    conserved by the inference fusion pipeline — the cross-graph invariant
+    IR008 pins down.
+    """
+    total = 0
+    for node in graph:
+        layer = node.layer
+        if not layer.is_conv:
+            continue
+        in_shapes = graph.input_shapes(node)
+        if isinstance(layer, FusedConv2d):
+            total += layer.conv_flops(in_shapes, node.output_shape)
+        else:
+            total += layer.flops(in_shapes, node.output_shape)
+    return total
+
+
+def verify_transform(
+    before: ComputeGraph, after: ComputeGraph
+) -> list[Diagnostic]:
+    """Check that a pass pipeline preserved the graph's semantics (IR008).
+
+    A rewrite may re-account costs, but it must not change what the network
+    computes: the learnable state (parameter count), the convolution work
+    (conv FLOPs excluding epilogues), and the output shape all have to
+    survive.  Runs on a (raw, transformed) graph pair — the two-graph
+    counterpart of the single-graph rules in :data:`IR_RULES`.
+    """
+    loc = f"{before.name}:transform"
+    found: list[Diagnostic] = []
+    if before.parameter_count() != after.parameter_count():
+        found.append(
+            Diagnostic(
+                "IR008",
+                Severity.ERROR,
+                loc,
+                f"parameter count changed under transformation: "
+                f"{before.parameter_count()} before, "
+                f"{after.parameter_count()} after",
+                hint="folded layers must keep their parameters accounted "
+                "(FusedConv2d.bn_features); the Weights metric W feeds the "
+                "fitted models",
+            )
+        )
+    flops_before = _primary_conv_flops(before)
+    flops_after = _primary_conv_flops(after)
+    if flops_before != flops_after:
+        found.append(
+            Diagnostic(
+                "IR008",
+                Severity.ERROR,
+                loc,
+                f"conv FLOPs changed under transformation: {flops_before} "
+                f"before, {flops_after} after",
+                hint="BN folding rescales kernels in place; the "
+                "convolution's mathematical cost must be untouched",
+            )
+        )
+    try:
+        shape_before = before.output_node.output_shape
+        shape_after = after.output_node.output_shape
+    except ValueError as exc:
+        found.append(
+            Diagnostic(
+                "IR008",
+                Severity.ERROR,
+                loc,
+                f"cannot compare output shapes: {exc}",
+            )
+        )
+    else:
+        if shape_before != shape_after:
+            found.append(
+                Diagnostic(
+                    "IR008",
+                    Severity.ERROR,
+                    loc,
+                    f"output shape changed under transformation: "
+                    f"{shape_before} before, {shape_after} after",
+                )
+            )
+    return sort_diagnostics(found)
+
+
 # -- registry and entry points -------------------------------------------------
 
 
@@ -441,6 +609,8 @@ IR_RULES: tuple[VerifyRule, ...] = (
                check_metric_accounting),
     VerifyRule("IR005", "layer parameter sanity", check_parameter_sanity),
     VerifyRule("IR006", "batch-scaling coherence", check_batch_scaling),
+    VerifyRule("IR007", "unfused BatchNorm advisory",
+               check_unfused_batchnorm),
 )
 
 
@@ -470,12 +640,18 @@ def verify_model(
     name: str,
     image_size: int = 224,
     ignore: Iterable[str] = (),
+    fuse: bool = False,
 ) -> list[Diagnostic]:
     """Build a zoo architecture and verify it.
 
     A build that raises is itself reported as an ``IR001`` ERROR (shape
     inference is what fails when an architecture definition is broken), so
     callers always get diagnostics rather than exceptions.
+
+    With ``fuse=True``, the default inference fusion pipeline runs first
+    and the *transformed* graph is verified, plus the IR008 preservation
+    check against the raw graph — the post-transform half of "zero ERRORs
+    before and after the pipeline".
     """
     from repro.zoo import build_model, get_entry
 
@@ -491,4 +667,12 @@ def verify_model(
                 f"graph construction failed: {exc}",
             )
         ]
-    return verify_graph(graph, ignore=ignore)
+    if not fuse:
+        return verify_graph(graph, ignore=ignore)
+    from repro.graph.passes import default_inference_pipeline
+
+    transformed = default_inference_pipeline().run(graph).graph
+    found = verify_graph(transformed, ignore=ignore)
+    if "IR008" not in frozenset(ignore):
+        found.extend(verify_transform(graph, transformed))
+    return sort_diagnostics(found)

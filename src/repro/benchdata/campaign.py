@@ -72,12 +72,18 @@ def inference_campaign(
     reps: int = 1,
     max_seconds: float | None = None,
     workers: int = 0,
+    transform: str = "",
 ) -> Dataset:
     """Measure inference across the sweep grid on one device.
 
     ``max_seconds`` skips configurations whose estimated runtime exceeds the
     budget — the practical cap any real campaign applies (a batch-2048
     VGG16 run on one CPU core would take the better part of an hour).
+
+    ``transform="inference"`` measures the fused graphs deployment
+    runtimes actually execute (BatchNorm folded, cheap activations
+    absorbed; see :mod:`repro.graph.passes`) — the fused-inference
+    workload for fused-vs-raw prediction comparisons.
     """
     spec = CampaignSpec(
         scenario="inference",
@@ -88,6 +94,7 @@ def inference_campaign(
         seed=seed,
         reps=reps,
         max_seconds=max_seconds,
+        transform=transform,
     )
     return run_campaign(spec, workers=workers).dataset
 

@@ -133,16 +133,30 @@ class CampaignSpec:
     max_seconds: float | None = None
     node_counts: tuple[int, ...] = (1,)
     gpus_per_node: int = 4
+    #: Graph transform applied before profiling: ``""`` (raw graphs, the
+    #: default), ``"inference"`` (the default fusion pipeline), or a
+    #: comma-separated list of registered pass names — the vocabulary of
+    #: :func:`repro.graph.passes.resolve_transform`.  Part of the
+    #: fingerprint, so fused and raw stores never cross-resume.
+    transform: str = ""
 
     def __post_init__(self) -> None:
         if self.scenario not in SCENARIOS:
             raise ValueError(
                 f"unknown scenario {self.scenario!r}; one of {SCENARIOS}"
             )
+        if self.transform:
+            if self.scenario == "blocks":
+                raise ValueError(
+                    "transform is not supported for the blocks scenario"
+                )
+            from repro.graph.passes import resolve_transform
+
+            resolve_transform(self.transform)  # KeyError on unknown passes
 
     def manifest(self) -> dict:
         """JSON-serialisable description, written to the store manifest."""
-        return {
+        m = {
             "scenario": self.scenario,
             "models": list(self.models),
             "device": self.device.name,
@@ -154,6 +168,11 @@ class CampaignSpec:
             "node_counts": list(self.node_counts),
             "gpus_per_node": self.gpus_per_node,
         }
+        # Only serialised when set, so every pre-transform store manifest
+        # (and its fingerprint) remains valid for resume.
+        if self.transform:
+            m["transform"] = self.transform
+        return m
 
     def fingerprint(self) -> str:
         blob = json.dumps(self.manifest(), sort_keys=True).encode()
@@ -214,19 +233,25 @@ def enumerate_points(spec: CampaignSpec) -> list[SweepPoint]:
 VERIFY_MODES = ("off", "warn", "strict")
 
 #: Cached verification verdicts, keyed like the profile caches so a sweep
-#: verifies each unique graph once per process, not once per point.
-VERIFY_CACHE: LRUCache[tuple[str, str, int], tuple[Diagnostic, ...]] = (
-    LRUCache(maxsize=512)
-)
+#: verifies each unique graph once per process, not once per point.  The
+#: key carries the transform string and the IR007 gate, so raw and fused
+#: sweeps of the same graph cache separate verdicts.
+VERIFY_CACHE: LRUCache[
+    tuple[str, str, int, str, bool], tuple[Diagnostic, ...]
+] = LRUCache(maxsize=512)
 
 
 def _verify_graph_cached(
-    kind: str, name: str, image_size: int
+    kind: str,
+    name: str,
+    image_size: int,
+    transform: str = "",
+    advise_fusion: bool = False,
 ) -> tuple[Diagnostic, ...]:
     def build() -> tuple[Diagnostic, ...]:
         # Imported lazily: repro.analysis pulls in repro.core, which imports
         # this package's records module — a cycle at module-import time.
-        from repro.analysis.verify import verify_graph
+        from repro.analysis.verify import verify_graph, verify_transform
 
         if kind == "block":
             for block in BLOCK_CATALOGUE:
@@ -239,9 +264,26 @@ def _verify_graph_cached(
             from repro.zoo import build_model
 
             graph = build_model(name, image_size)
-        return tuple(verify_graph(graph))
+        # IR007 (fold your BatchNorms) is only actionable advice for raw
+        # inference sweeps; training needs live BatchNorm and a fused sweep
+        # already took the advice.
+        ignore = () if advise_fusion else ("IR007",)
+        found = list(verify_graph(graph, ignore=ignore))
+        if transform:
+            from repro.graph.passes import resolve_transform
 
-    return VERIFY_CACHE.get_or_compute((kind, name, image_size), build)
+            pipeline = resolve_transform(transform)
+            assert pipeline is not None
+            transformed = pipeline.run(graph).graph
+            # Both halves of the contract: the rewritten graph is itself a
+            # well-formed IR, and the rewrite preserved the semantics.
+            found.extend(verify_graph(transformed, ignore=("IR007",)))
+            found.extend(verify_transform(graph, transformed))
+        return tuple(sort_diagnostics(found))
+
+    return VERIFY_CACHE.get_or_compute(
+        (kind, name, image_size, transform, advise_fusion), build
+    )
 
 
 def verify_campaign_graphs(spec: CampaignSpec) -> list[Diagnostic]:
@@ -249,15 +291,22 @@ def verify_campaign_graphs(spec: CampaignSpec) -> list[Diagnostic]:
 
     The verdicts are cached per ``(model, image_size)``, mirroring the
     profile caches, so the verification cost is one graph build per unique
-    configuration — negligible next to the sweep itself.
+    configuration — negligible next to the sweep itself.  For transformed
+    campaigns each graph is verified twice — raw and after the pipeline —
+    plus the IR008 preservation check across the pair.
     """
     kind = "block" if spec.scenario == "blocks" else "model"
+    advise_fusion = spec.scenario == "inference" and not spec.transform
     unique: dict[tuple[str, int], None] = {}
     for point in enumerate_points(spec):
         unique.setdefault((point.model, point.image_size), None)
     found: list[Diagnostic] = []
     for name, image_size in unique:
-        found.extend(_verify_graph_cached(kind, name, image_size))
+        found.extend(
+            _verify_graph_cached(
+                kind, name, image_size, spec.transform, advise_fusion
+            )
+        )
     return sort_diagnostics(found)
 
 
@@ -289,6 +338,16 @@ def _run_verification(spec: CampaignSpec, verify: str) -> int:
 def _point_profile(spec: CampaignSpec, point: SweepPoint) -> CostProfile:
     if spec.scenario == "blocks":
         return block_profile(point.model, point.image_size)
+    if spec.transform:
+        from repro.graph.passes import resolve_transform
+
+        # Resolving is a cheap registry lookup; the expensive build+rewrite
+        # is memoised in PROFILE_CACHE under the pipeline fingerprint, so
+        # workers and resumed runs share the same cached profiles as a
+        # serial run.
+        return zoo_profile(
+            point.model, point.image_size, resolve_transform(spec.transform)
+        )
     return zoo_profile(point.model, point.image_size)
 
 

@@ -9,6 +9,7 @@ Mirrors how the paper's tooling would be used operationally::
     repro campaign --scenario inference --workers 8 \
                    --store runs/gpu --resume -o data.json
     repro trace alexnet --format chrome -o trace.json
+    repro transform resnet18 --diff          # inference fusion pipeline
     repro campaign --scenario training --trace trace.json -o data.json
     repro fit --data data.json --kind forward -o model.json
     repro audit model.json --data data.json    # fitted-model auditor
@@ -119,6 +120,7 @@ def _campaign_spec(args: argparse.Namespace) -> CampaignSpec:
         seed=args.seed,
         max_seconds=args.max_seconds,
         node_counts=tuple(args.nodes),
+        transform="inference" if args.fuse else "",
     )
 
 
@@ -174,6 +176,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             nodes=args.nodes,
             gpus_per_node=args.gpus_per_node,
             seed=args.seed,
+            fuse=args.fuse,
         )
     except OutOfDeviceMemory as exc:
         print(f"trace: {exc}", file=sys.stderr)
@@ -190,6 +193,62 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"wrote {spans} spans ({args.format}) to {args.out}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_transform(args: argparse.Namespace) -> int:
+    from repro.graph.metrics import summarize_costs
+    from repro.graph.passes import build_pipeline, default_inference_pipeline
+    from repro.zoo import build_model
+
+    if args.model not in available_models():
+        print(
+            f"transform: unknown model {args.model!r}; see `repro models`",
+            file=sys.stderr,
+        )
+        return 2
+    image = max(args.image, get_entry(args.model).min_image_size)
+    graph = build_model(args.model, image)
+    try:
+        pipeline = (
+            build_pipeline(tuple(args.passes), name="custom")
+            if args.passes
+            else default_inference_pipeline()
+        )
+    except KeyError as exc:
+        print(f"transform: {exc.args[0]}", file=sys.stderr)
+        return 2
+    result = pipeline.run(graph)
+
+    print(f"{args.model}@{image}: pipeline {pipeline.name!r} "
+          f"(fingerprint {pipeline.fingerprint()})")
+    for res in result.results:
+        print(
+            f"  {res.pass_name:22s}{res.nodes_before:4d} -> "
+            f"{res.nodes_after:4d} nodes  ({res.changed} rewrites)"
+        )
+    before = summarize_costs(graph)
+    after = summarize_costs(result.graph)
+    print(f"  {'metric':14s}{'before':>16s}{'after':>16s}")
+    for label, attr in (
+        ("FLOPs (F)", "flops"),
+        ("conv in (I)", "conv_input_elems"),
+        ("conv out (O)", "conv_output_elems"),
+        ("weights (W)", "weights"),
+        ("layers (L)", "layers"),
+        ("activations", "total_output_elems"),
+    ):
+        print(f"  {label:14s}{getattr(before, attr):16,d}"
+              f"{getattr(after, attr):16,d}")
+    if args.diff:
+        renames = result.renames()
+        removed = result.removed()
+        print(f"  fused layers ({len(renames)}):")
+        for fused, sources in sorted(renames.items()):
+            print(f"    {' + '.join(sources)} -> {fused}")
+        if removed:
+            print(f"  removed dead layers ({len(removed)}): "
+                  + ", ".join(removed))
     return 0
 
 
@@ -276,7 +335,12 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     from repro.analysis.audit import audit_prediction_query
 
     model = load_model(args.model)
-    profile = zoo_profile(args.network, args.image)
+    pipeline = None
+    if args.fuse:
+        from repro.graph.passes import default_inference_pipeline
+
+        pipeline = default_inference_pipeline()
+    profile = zoo_profile(args.network, args.image, pipeline)
     features = ConvNetFeatures.from_profile(profile)
     for diag in audit_prediction_query(
         model, features, args.batch, args.devices, args.nodes,
@@ -324,7 +388,10 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         raise SystemExit("verify: name at least one model or pass --all-zoo")
     diags = []
     for name in names:
-        diags.extend(verify_model(name, args.image, ignore=args.ignore))
+        diags.extend(
+            verify_model(name, args.image, ignore=args.ignore,
+                         fuse=args.fuse)
+        )
     if args.format == "json":
         print(render_json(diags, len(names), "model"))
     else:
@@ -415,7 +482,30 @@ def build_parser() -> argparse.ArgumentParser:
                         default="text")
     verify.add_argument("--quiet", action="store_true",
                         help="print only the one-line summary")
+    verify.add_argument("--fuse", action="store_true",
+                        help="additionally verify the fused inference "
+                             "graph and its semantic preservation (IR008)")
     verify.set_defaults(func=_cmd_verify)
+
+    transform = sub.add_parser(
+        "transform",
+        help="apply graph transformation passes and report the effect",
+        epilog="exit codes: 0 = transformed, 2 = unknown model or pass",
+    )
+    transform.add_argument("model",
+                           help="zoo model name (see `repro models`)")
+    transform.add_argument("--image", type=int, default=224,
+                           help="square image size (clamped up to the "
+                                "model's minimum)")
+    transform.add_argument("--passes", nargs="*", default=(),
+                           metavar="PASS",
+                           help="pass names to run in order (default: the "
+                                "inference pipeline; see docs/"
+                                "transforms.md)")
+    transform.add_argument("--diff", action="store_true",
+                           help="also print the fused-layer mapping and "
+                                "removed dead layers")
+    transform.set_defaults(func=_cmd_transform)
 
     lint = sub.add_parser(
         "lint",
@@ -483,6 +573,10 @@ def build_parser() -> argparse.ArgumentParser:
                                "and measure anyway)")
     campaign.add_argument("--no-verify", action="store_true",
                           help="skip pre-measurement graph verification")
+    campaign.add_argument("--fuse", action="store_true",
+                          help="measure inference-fused graphs (BatchNorm "
+                               "folding + activation fusion; see "
+                               "`repro transform`)")
     campaign.add_argument("--trace", default=None, metavar="PATH",
                           help="also write a Chrome-format trace of the "
                                "full sweep (serial post-pass; records and "
@@ -512,6 +606,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cluster nodes (--phase distributed)")
     trace.add_argument("--gpus-per-node", type=int, default=4)
     trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--fuse", action="store_true",
+                       help="trace the fused inference graph (spans carry "
+                            "fused names like conv+bn+relu)")
     trace.add_argument("--format", choices=("tree", "json", "chrome"),
                        default="tree",
                        help="text tree, full span JSON, or a "
@@ -550,6 +647,9 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--domain-factor", type=float, default=10.0,
                          help="flag queries beyond this multiple of the "
                               "fitted feature range (FIT004)")
+    predict.add_argument("--fuse", action="store_true",
+                         help="predict from the fused inference graph's "
+                              "metric vector")
     predict.set_defaults(func=_cmd_predict)
 
     report = sub.add_parser(

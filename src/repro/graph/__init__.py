@@ -18,6 +18,8 @@ from repro.graph.layers import (
     Conv2d,
     Dropout,
     Flatten,
+    FusedConv2d,
+    FusedLinear,
     GlobalAvgPool2d,
     Input,
     Layer,
@@ -30,12 +32,22 @@ from repro.graph.layers import (
 from repro.graph.graph import ComputeGraph, Node
 from repro.graph.builder import GraphBuilder
 from repro.graph.metrics import LayerCost, graph_costs, summarize_costs
+from repro.graph.passes import (
+    PassPipeline,
+    PassResult,
+    PipelineResult,
+    build_pipeline,
+    default_inference_pipeline,
+    resolve_transform,
+)
 
 __all__ = [
     "TensorShape",
     "Layer",
     "Input",
     "Conv2d",
+    "FusedConv2d",
+    "FusedLinear",
     "BatchNorm2d",
     "Activation",
     "MaxPool2d",
@@ -56,4 +68,10 @@ __all__ = [
     "LayerCost",
     "graph_costs",
     "summarize_costs",
+    "PassPipeline",
+    "PassResult",
+    "PipelineResult",
+    "build_pipeline",
+    "default_inference_pipeline",
+    "resolve_transform",
 ]

@@ -97,6 +97,67 @@ class ComputeGraph:
     def successors(self, name: str) -> list[Node]:
         return [n for n in self if name in n.inputs]
 
+    # -- traversals --------------------------------------------------------
+
+    def topological_order(self) -> list[Node]:
+        """Nodes in dependency order, recomputed from the edges.
+
+        Unlike iterating the graph (which trusts insertion order), this is
+        a Kahn walk over the actual edge set, with ties broken by insertion
+        order so the result is deterministic.  It is the one traversal the
+        shape reporter, the verifier, and the pass framework all share.
+        Raises :class:`ValueError` when the edges admit no schedule (a
+        cycle or an unknown input reference).
+        """
+        indegree = {name: 0 for name in self._order}
+        for node in self:
+            for parent in node.inputs:
+                if parent not in indegree:
+                    raise ValueError(
+                        f"node {node.name!r} references unknown input "
+                        f"{parent!r}"
+                    )
+                indegree[node.name] += 1
+        ready = [name for name in self._order if indegree[name] == 0]
+        ordered: list[Node] = []
+        while ready:
+            # Pop the earliest-inserted ready node: deterministic, and on
+            # well-formed graphs it reproduces the insertion order exactly.
+            name = ready.pop(0)
+            ordered.append(self._nodes[name])
+            for succ in self.successors(name):
+                indegree[succ.name] -= 1
+                if indegree[succ.name] == 0:
+                    ready.append(succ.name)
+        if len(ordered) != len(self._order):
+            stuck = sorted(set(self._order) - {n.name for n in ordered})
+            raise ValueError(
+                f"graph {self.name!r} has no topological order; nodes "
+                f"{stuck} sit on a cycle"
+            )
+        return ordered
+
+    def reachable_from_sink(self) -> set[str]:
+        """Names of nodes the sink transitively reads (itself included).
+
+        The sink is the last node in topological order — the graph's output
+        by construction.  Everything outside this set is dead weight: its
+        FLOPs and parameters still land in the metric vector, which is
+        exactly what verify's IR002 and the ``EliminateDeadLayers`` pass
+        use this walk to find.
+        """
+        if not self._order:
+            return set()
+        stack = [self._order[-1]]
+        seen: set[str] = set()
+        while stack:
+            name = stack.pop()
+            if name in seen or name not in self._nodes:
+                continue  # unknown refs are IR003's finding, not ours
+            seen.add(name)
+            stack.extend(self._nodes[name].inputs)
+        return seen
+
     # -- blocks ------------------------------------------------------------
 
     def block_names(self) -> list[str]:
@@ -179,8 +240,13 @@ class ComputeGraph:
 
 
 def sequential_shapes(graph: ComputeGraph) -> list[tuple[str, TensorShape]]:
-    """(name, shape) pairs in topological order — a debugging/report helper."""
-    return [(n.name, n.output_shape) for n in graph]
+    """(name, shape) pairs in topological order — a debugging/report helper.
+
+    Recomputes the order from the edge set via
+    :meth:`ComputeGraph.topological_order`, so the report stays honest even
+    for graphs whose insertion order was corrupted.
+    """
+    return [(n.name, n.output_shape) for n in graph.topological_order()]
 
 
 def check_same_topology(a: ComputeGraph, b: ComputeGraph) -> bool:

@@ -176,6 +176,56 @@ class Activation(Layer):
         return per_elem * output.numel
 
 
+def _epilogue_flops(activation: str, output: TensorShape) -> int:
+    """FLOPs of an activation absorbed into a producing layer's epilogue.
+
+    The arithmetic survives fusion (the fused kernel still clamps every
+    output element); only the extra tensor round-trip disappears, which is
+    a memory effect, not a FLOP effect.
+    """
+    if not activation:
+        return 0
+    per_elem = 1 if activation in Activation._CHEAP else 4
+    return per_elem * output.numel
+
+
+@dataclass(frozen=True)
+class FusedConv2d(Conv2d):
+    """A convolution with a folded BatchNorm and/or an absorbed activation.
+
+    Produced by the :mod:`repro.graph.passes` rewrites, never by model
+    builders.  ``bn_features`` counts the channels of a folded BatchNorm —
+    its scale/shift pairs remain learnable state baked into the kernel, so
+    ``param_count`` keeps the paper's Weights metric W exactly conserved
+    under folding.  ``activation`` names an absorbed pointwise epilogue;
+    its FLOPs stay (the fused kernel still applies it) while the separate
+    activation tensor round-trip disappears from the cost model because the
+    standalone node no longer exists.
+    """
+
+    bn_features: int = 0
+    activation: str = ""
+
+    def param_count(self) -> int:
+        return super().param_count() + 2 * self.bn_features
+
+    def flops(self, inputs: Sequence[TensorShape], output: TensorShape) -> int:
+        return self.conv_flops(inputs, output) + _epilogue_flops(
+            self.activation, output
+        )
+
+    def conv_flops(
+        self, inputs: Sequence[TensorShape], output: TensorShape
+    ) -> int:
+        """The convolution's own mathematical cost, excluding the epilogue.
+
+        Folding a BatchNorm rescales the kernel in place, so this equals
+        the unfused convolution's FLOPs exactly — the conservation law the
+        verifier's transform check asserts.
+        """
+        return Conv2d.flops(self, inputs, output)
+
+
 @dataclass(frozen=True)
 class _Pool2d(Layer):
     kernel_size: int | tuple[int, int] = 2
@@ -272,6 +322,26 @@ class Linear(Layer):
     def flops(self, inputs: Sequence[TensorShape], output: TensorShape) -> int:
         macs = self.in_features * self.out_features
         return 2 * macs + (self.out_features if self.bias else 0)
+
+
+@dataclass(frozen=True)
+class FusedLinear(Linear):
+    """A fully connected layer with a folded norm / absorbed activation.
+
+    The linear-layer counterpart of :class:`FusedConv2d`, with the same
+    conservation accounting.
+    """
+
+    bn_features: int = 0
+    activation: str = ""
+
+    def param_count(self) -> int:
+        return super().param_count() + 2 * self.bn_features
+
+    def flops(self, inputs: Sequence[TensorShape], output: TensorShape) -> int:
+        return Linear.flops(self, inputs, output) + _epilogue_flops(
+            self.activation, output
+        )
 
 
 @dataclass(frozen=True)

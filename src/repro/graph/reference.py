@@ -269,18 +269,32 @@ class ReferenceExecutor:
             values[node.name] = self._apply(node.name, layer, args)
         return values[self.graph.output_node.name]
 
+    @staticmethod
+    def _epilogue(layer: object, out: np.ndarray) -> np.ndarray:
+        """Apply the activation a fused conv/linear absorbed, if any.
+
+        Folded BatchNorms need no numeric counterpart here: reference
+        parameters initialise BN at (near-)identity, which folds into the
+        kernel as a no-op.
+        """
+        kind = getattr(layer, "activation", "")
+        if kind:
+            return _ACTIVATIONS[kind](out)
+        return out
+
     def _apply(
         self, name: str, layer: object, args: list[np.ndarray]
     ) -> np.ndarray:
         if isinstance(layer, Conv2d):
             p = self.params[name]
-            return conv2d_forward(args[0], layer, p["weight"], p.get("bias"))
+            out = conv2d_forward(args[0], layer, p["weight"], p.get("bias"))
+            return self._epilogue(layer, out)
         if isinstance(layer, Linear):
             p = self.params[name]
             out = args[0] @ p["weight"].T
             if "bias" in p:
                 out = out + p["bias"]
-            return out
+            return self._epilogue(layer, out)
         if isinstance(layer, BatchNorm2d):
             p = self.params[name]
             x = args[0]

@@ -194,14 +194,24 @@ class SimulatedExecutor:
         rep: int = 0,
         enforce_memory: bool = True,
         tracer: "Tracer | None" = None,
+        inference_mode: bool = False,
     ) -> float:
         """One noisy inference measurement, seconds.
 
         With a ``tracer``, emits a ``forward`` phase span whose per-layer
         children sum exactly to the returned time; the measurement itself
         is unchanged (tracing never perturbs the noise stream).
+
+        ``inference_mode=True`` applies the default fusion pipeline
+        (:func:`repro.graph.passes.default_inference_pipeline`) when given
+        a graph — BatchNorms fold into their convolutions and cheap
+        activations are absorbed, mirroring what a deployment runtime
+        executes.  A :class:`CostProfile` is measured as supplied (profiles
+        are pre-transformed via ``zoo_profile(..., pipeline=...)``).  Noise
+        stays seeded per point identity, so fused measurements are as
+        reproducible as raw ones.
         """
-        profile = self._as_profile(graph_or_profile)
+        profile = self._as_profile(graph_or_profile, inference_mode)
         if enforce_memory:
             check_fits(profile, batch, self.device, training=False)
         clean = self.forward_time_clean(profile, batch)
@@ -257,8 +267,16 @@ class SimulatedExecutor:
         return PhaseTimes(forward=fwd, backward=bwd, grad_update=grad)
 
     def _as_profile(
-        self, graph_or_profile: ComputeGraph | CostProfile
+        self,
+        graph_or_profile: ComputeGraph | CostProfile,
+        inference_mode: bool = False,
     ) -> CostProfile:
         if isinstance(graph_or_profile, CostProfile):
             return graph_or_profile
+        if inference_mode:
+            from repro.graph.passes import default_inference_pipeline
+
+            return profile_graph(
+                graph_or_profile, default_inference_pipeline()
+            )
         return profile_graph(graph_or_profile)

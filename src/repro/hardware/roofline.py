@@ -24,6 +24,7 @@ aggregate metrics — the realistic regime for ConvMeter's regression.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -31,6 +32,9 @@ from repro.caching import CacheStats, LRUCache
 from repro.graph.graph import ComputeGraph
 from repro.graph.metrics import LayerCost, graph_costs
 from repro.hardware.device import DeviceSpec
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.graph.passes import PassPipeline
 
 # Efficiency classes.
 _CONV = 0        # dense convolution (im2col GEMM)
@@ -68,6 +72,7 @@ def _classify(cost: LayerCost) -> int:
         return _CONV
     if cost.layer_type in (
         "Linear",
+        "FusedLinear",  # still one GEMM; the epilogue rides in its kernel
         "TokenLinear",
         "ScaledDotProductAttention",
     ):
@@ -165,8 +170,20 @@ class CostProfile:
         return tuple(f"layer[{i}]" for i in range(self.n_layers))
 
 
-def profile_graph(graph: ComputeGraph) -> CostProfile:
-    """Compile a graph into a :class:`CostProfile`."""
+def profile_graph(
+    graph: ComputeGraph, pipeline: "PassPipeline | None" = None
+) -> CostProfile:
+    """Compile a graph into a :class:`CostProfile`.
+
+    With a ``pipeline`` (see :mod:`repro.graph.passes`), the graph is
+    transformed first and the *optimized* graph is costed — the fused
+    layer names flow into :meth:`CostProfile.span_names`, so traces show
+    ``conv+bn+relu``-style spans.  The graph's name is preserved across
+    transformation, keeping noise seeding (which keys on the name)
+    comparable between raw and fused measurements of the same model.
+    """
+    if pipeline is not None:
+        graph = pipeline.run(graph).graph
     return CostProfile.from_costs(graph.name, graph_costs(graph))
 
 
@@ -205,21 +222,38 @@ def layer_times(
 
 
 #: Campaign-scoped profile cache: explicitly bounded (a full sweep touches
-#: |models| × |image sizes| ≈ 100 entries; 512 leaves headroom for what-if
-#: sweeps without letting memory grow with campaign length) and observable,
-#: so campaigns can report the hit rate they achieved.
-PROFILE_CACHE: LRUCache[tuple[str, int], CostProfile] = LRUCache(maxsize=512)
+#: |models| × |image sizes| ≈ 100 entries, at most doubled by a fused
+#: variant per pipeline; 512 leaves headroom for what-if sweeps without
+#: letting memory grow with campaign length) and observable, so campaigns
+#: can report the hit rate they achieved.  Keyed by
+#: ``(model, image_size, pipeline fingerprint)`` — the empty string marks
+#: the raw, untransformed profile.
+PROFILE_CACHE: LRUCache[tuple[str, int, str], CostProfile] = LRUCache(
+    maxsize=512
+)
 
 
-def zoo_profile(model: str, image_size: int) -> CostProfile:
-    """Cached profile of a zoo model — the campaign's workhorse lookup."""
+def zoo_profile(
+    model: str,
+    image_size: int,
+    pipeline: "PassPipeline | None" = None,
+) -> CostProfile:
+    """Cached profile of a zoo model — the campaign's workhorse lookup.
+
+    ``pipeline`` selects a graph transformation applied before costing;
+    fused and raw profiles live side by side in the cache under distinct
+    fingerprints, so mixed raw/fused sweeps never collide.
+    """
+    fingerprint = "" if pipeline is None else pipeline.fingerprint()
 
     def build() -> CostProfile:
         from repro.zoo import build_model
 
-        return profile_graph(build_model(model, image_size))
+        return profile_graph(build_model(model, image_size), pipeline)
 
-    return PROFILE_CACHE.get_or_compute((model, image_size), build)
+    return PROFILE_CACHE.get_or_compute(
+        (model, image_size, fingerprint), build
+    )
 
 
 def profile_cache_stats() -> CacheStats:

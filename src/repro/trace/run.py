@@ -13,6 +13,7 @@ from repro.distributed.cluster import ClusterSpec
 from repro.distributed.trainer import DistributedTrainer
 from repro.hardware.device import DeviceSpec
 from repro.hardware.executor import SimulatedExecutor
+from repro.graph.passes import default_inference_pipeline
 from repro.hardware.roofline import zoo_profile
 from repro.trace.tracer import Tracer
 from repro.zoo.registry import get_entry
@@ -31,6 +32,7 @@ def trace_model(
     gpus_per_node: int = 4,
     seed: int = 0,
     rep: int = 0,
+    fuse: bool = False,
 ) -> Tracer:
     """Trace one simulated measurement of ``model``; returns the tracer.
 
@@ -38,7 +40,9 @@ def trace_model(
     single-device training step (``step``), or a data-parallel training
     step on a ``nodes × gpus_per_node`` cluster (``distributed``).  The
     image size is clamped up to the model's architectural minimum, the
-    same courtesy ``repro verify`` extends.  Raises
+    same courtesy ``repro verify`` extends.  ``fuse`` runs the inference
+    fusion pipeline first, so spans carry fused names such as
+    ``conv2d_0+batchnorm2d_0+activation_0``.  Raises
     :class:`~repro.hardware.memory.OutOfDeviceMemory` when the
     configuration does not fit the device, and :class:`KeyError` for an
     unknown model.
@@ -46,7 +50,8 @@ def trace_model(
     if phase not in TRACE_PHASES:
         raise ValueError(f"unknown phase {phase!r}; one of {TRACE_PHASES}")
     image = max(image_size, get_entry(model).min_image_size)
-    profile = zoo_profile(model, image)
+    pipeline = default_inference_pipeline() if fuse else None
+    profile = zoo_profile(model, image, pipeline)
 
     tracer = Tracer()
     tracer.begin(

@@ -37,6 +37,21 @@ class TestTutorialSnippets:
                 )
 
 
+class TestTransformsDocSnippets:
+    def test_transforms_snippets_run_in_order(self, capsys):
+        namespace: dict = {}
+        snippets = _snippets(ROOT / "docs" / "transforms.md")
+        assert len(snippets) >= 2
+        for i, snippet in enumerate(snippets):
+            try:
+                exec(compile(snippet, f"transforms_snippet_{i}", "exec"),
+                     namespace)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                pytest.fail(
+                    f"transforms snippet {i} failed: {exc}\n---\n{snippet}"
+                )
+
+
 class TestReadmeSnippets:
     def test_readme_snippets_run_in_order(self, capsys):
         namespace: dict = {}
@@ -55,7 +70,8 @@ class TestReadmeSnippets:
 class TestDocsMentionRealArtifacts:
     @pytest.mark.parametrize(
         "doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md",
-                "docs/architecture.md", "docs/tutorial.md"]
+                "docs/architecture.md", "docs/tutorial.md",
+                "docs/transforms.md"]
     )
     def test_referenced_paths_exist(self, doc):
         """Every repository path a doc points at must exist."""

@@ -1,12 +1,14 @@
-"""Golden-snapshot test of the zoo metric vectors.
+"""Golden-snapshot test of the zoo metric vectors, raw and fused.
 
 ConvMeter regresses runtime on each network's metric vector (FLOPs, Inputs,
 Outputs, Weights, Layers), so a cache or profiling refactor that silently
 shifts any of these corrupts every downstream fit.  The expected values for
 all registry models at 224 px are checked in under ``tests/data``; exact
-integer equality is required.
+integer equality is required.  Each entry also carries a nested ``fused``
+vector — the same metrics after the default inference fusion pipeline —
+pinning the pass framework's rewrites the same way.
 
-To regenerate after an *intentional* architecture change::
+To regenerate after an *intentional* architecture or pass change::
 
     PYTHONPATH=src python tests/test_zoo_golden.py > tests/data/zoo_golden.json
 """
@@ -17,22 +19,31 @@ from pathlib import Path
 import pytest
 
 from repro.graph.metrics import summarize_costs
+from repro.graph.passes import default_inference_pipeline
 from repro.zoo import available_models, build_model, get_entry
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "zoo_golden.json"
 GOLDEN = json.loads(GOLDEN_PATH.read_text())
 
 
+def _vector(summary) -> dict:
+    return {
+        "flops": summary.flops,
+        "conv_input_elems": summary.conv_input_elems,
+        "conv_output_elems": summary.conv_output_elems,
+        "weights": summary.weights,
+        "layers": summary.layers,
+    }
+
+
 def _metric_row(name: str) -> dict:
     size = max(224, get_entry(name).min_image_size)
-    s = summarize_costs(build_model(name, size))
+    graph = build_model(name, size)
+    fused = default_inference_pipeline().run(graph).graph
     return {
         "image_size": size,
-        "flops": s.flops,
-        "conv_input_elems": s.conv_input_elems,
-        "conv_output_elems": s.conv_output_elems,
-        "weights": s.weights,
-        "layers": s.layers,
+        **_vector(summarize_costs(graph)),
+        "fused": {"nodes": len(fused), **_vector(summarize_costs(fused))},
     }
 
 
