@@ -1,0 +1,98 @@
+"""Load test of the prediction server (``repro serve --bench`` in-process).
+
+Not a paper table: this drives the serving layer the way the CI
+serve-smoke job does — a registry of freshly fitted artifacts, an
+ephemeral server, the deterministic seeded query mix — and gates the
+``BENCH_serve.json`` contract (schema validity, zero errors, a sane
+latency histogram, cache effectiveness) plus run-to-run determinism of
+the request stream itself.
+"""
+
+import pytest
+
+from repro.benchdata import distributed_campaign, inference_campaign
+from repro.core.forward import ForwardModel
+from repro.core.persistence import save_model
+from repro.core.training import TrainingStepModel
+from repro.serve import (
+    BenchConfig,
+    ModelRegistry,
+    bench_registry,
+    build_mix,
+    validate_bench_payload,
+)
+
+
+@pytest.fixture(scope="module")
+def bench_registry_dir(tmp_path_factory):
+    root = tmp_path_factory.mktemp("bench-registry")
+    inference = inference_campaign(
+        models=("alexnet", "resnet18", "resnet50", "mobilenet_v2", "vgg11"),
+        batch_sizes=(1, 8, 64, 256),
+        image_sizes=(64, 128, 224),
+        seed=21,
+    )
+    save_model(ForwardModel().fit(inference), root / "default.json")
+    distributed = distributed_campaign(
+        models=("alexnet", "resnet18", "resnet50", "mobilenet_v2", "vgg11"),
+        node_counts=(1, 2, 4),
+        batch_sizes=(16, 64),
+        image_sizes=(64, 128),
+        seed=23,
+    )
+    save_model(TrainingStepModel().fit(distributed), root / "step.json",
+               audit="off")
+    return root
+
+
+@pytest.mark.experiment
+def test_serve_load_forward(bench_registry_dir):
+    config = BenchConfig(artifact="default", queries=128, threads=4, seed=7)
+    payload = bench_registry(ModelRegistry(bench_registry_dir), config)
+
+    assert validate_bench_payload(payload) == []
+    totals = payload["totals"]
+    assert totals["errors"] == 0
+    assert totals["queries"] == config.queries
+    assert payload["qps"] > 0
+    hist = payload["latency_ms"]["histogram"]
+    assert sum(hist["counts"]) == totals["requests"]
+    latency = payload["latency_ms"]
+    assert 0 < latency["p50"] <= latency["p90"] <= latency["p99"] \
+        <= latency["max"]
+
+    cache = payload["feature_cache"]
+    assert cache["lookups"] == config.queries
+    # 128 queries over a mix of ~30 (network, image, transform) keys:
+    # the feature cache must be doing real work.
+    assert cache["hit_rate"] > 0.5
+
+    counters = payload["counters"]
+    assert counters["predictions_total"] == float(config.queries)
+    assert counters.get("errors_total", 0.0) == 0.0
+
+    print(f"qps       {payload['qps']:.0f}")
+    print(f"p50       {latency['p50']:.3f} ms")
+    print(f"p99       {latency['p99']:.3f} ms")
+    print(f"hit rate  {cache['hit_rate']:.2f}")
+
+
+@pytest.mark.experiment
+def test_serve_load_training_step(bench_registry_dir):
+    config = BenchConfig(artifact="step", queries=64, threads=2, seed=11)
+    payload = bench_registry(ModelRegistry(bench_registry_dir), config)
+    assert validate_bench_payload(payload) == []
+    assert payload["totals"]["errors"] == 0
+    assert payload["config"]["kind"] == "training_step"
+
+
+@pytest.mark.experiment
+def test_bench_mix_is_deterministic():
+    config = BenchConfig(artifact="default", queries=96, seed=3)
+    first = build_mix(config, step_model=True)
+    second = build_mix(config, step_model=True)
+    assert first == second
+    shifted = build_mix(
+        BenchConfig(artifact="default", queries=96, seed=4), step_model=True
+    )
+    assert first != shifted

@@ -29,6 +29,7 @@ with its campaign dataset for design-matrix and residual rules),
 from repro.analysis.audit.models import (
     audit_model,
     audit_prediction_query,
+    prediction_warnings,
     require_clean,
 )
 from repro.analysis.audit.rules import (
@@ -58,5 +59,6 @@ __all__ = [
     "audit_prediction_query",
     "audit_queries",
     "audit_residual_bias",
+    "prediction_warnings",
     "require_clean",
 ]

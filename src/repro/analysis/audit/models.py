@@ -207,6 +207,32 @@ def audit_prediction_query(
     return found
 
 
+def prediction_warnings(
+    model: object,
+    features,
+    batch: int,
+    devices: int = 1,
+    nodes: int = 1,
+    factor: float | None = DEFAULT_DOMAIN_FACTOR,
+) -> list[str]:
+    """Rendered FIT004 findings for one query, for per-response surfacing.
+
+    The string form of :func:`audit_prediction_query` that the prediction
+    server attaches to every response (and ``repro predict`` prints):
+    pure and side-effect free, so — unlike the :mod:`warnings`-module
+    path the scaling curves use — it is safe to call concurrently from
+    request-handler threads.  ``factor=None`` disables the check.
+    """
+    if factor is None:
+        return []
+    return [
+        d.render()
+        for d in audit_prediction_query(
+            model, features, batch, devices, nodes, factor
+        )
+    ]
+
+
 def require_clean(diagnostics: Sequence[Diagnostic]) -> None:
     """Raise :class:`ModelAuditError` when ERROR findings are present."""
     if has_errors(diagnostics):

@@ -57,6 +57,17 @@ class CacheStats:
             f"({self.hit_rate:.0%}), {self.evictions} evictions"
         )
 
+    def to_dict(self) -> dict[str, float]:
+        """All counters plus derived rates, JSON-ready — the shape the
+        serve ``/metrics`` endpoint and ``BENCH_serve.json`` report."""
+        return {
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "evictions": float(self.evictions),
+            "lookups": float(self.lookups),
+            "hit_rate": self.hit_rate,
+        }
+
     def as_counters(self) -> dict[str, float]:
         """The counters in the trace layer's ``name -> float`` shape, for
         merging into campaign-wide work-counter totals."""

@@ -376,6 +376,74 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        BenchConfig,
+        ModelRegistry,
+        RegistryError,
+        UnknownArtifactError,
+        bench_registry,
+        make_server,
+        write_bench,
+    )
+
+    try:
+        registry = ModelRegistry(args.registry)
+    except RegistryError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    domain_factor = args.domain_factor if args.domain_factor > 0 else None
+    if args.bench:
+        try:
+            artifact = args.artifact or registry.default_name()
+            registry.get(artifact)
+        except (UnknownArtifactError, RegistryError) as exc:
+            print(f"serve: {exc}", file=sys.stderr)
+            return 2
+        config = BenchConfig(
+            artifact=artifact,
+            queries=args.queries,
+            threads=args.threads,
+            seed=args.seed,
+        )
+        payload = bench_registry(
+            registry, config, fuse=args.fuse, domain_factor=domain_factor
+        )
+        write_bench(payload, args.out)
+        lat = payload["latency_ms"]
+        print(
+            f"benched {artifact!r}: {payload['totals']['queries']} queries "
+            f"in {payload['wall_seconds']:.2f} s "
+            f"({payload['qps']:.0f} q/s, {payload['totals']['errors']} "
+            "errors)"
+        )
+        print(
+            f"latency p50 {lat['p50']:.2f} ms, p90 {lat['p90']:.2f} ms, "
+            f"p99 {lat['p99']:.2f} ms; feature-cache hit rate "
+            f"{payload['feature_cache']['hit_rate']:.0%}"
+        )
+        print(f"wrote {args.out}")
+        return 0
+    server = make_server(
+        registry,
+        host=args.host,
+        port=args.port,
+        fuse=args.fuse,
+        domain_factor=domain_factor,
+        feature_cache_size=args.feature_cache,
+    )
+    names = ", ".join(registry.names())
+    print(f"serving {names} from {args.registry} on {server.url}")
+    print("endpoints: POST /predict, GET /healthz, GET /metrics")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.analysis.verify import verify_model
     from repro.diagnostics import has_errors, render_json, render_text
@@ -651,6 +719,46 @@ def build_parser() -> argparse.ArgumentParser:
                          help="predict from the fused inference graph's "
                               "metric vector")
     predict.set_defaults(func=_cmd_predict)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve predictions over HTTP from a registry of fitted "
+             "models (see docs/serving.md)",
+        epilog="exit codes: 0 = clean shutdown / bench written, "
+               "2 = unusable registry or artifact",
+    )
+    serve.add_argument("--registry", required=True,
+                       help="directory of v2 model artifacts (+ optional "
+                            "registry.json manifest)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8151,
+                       help="listen port (0 picks an ephemeral one)")
+    serve.add_argument("--fuse", action="store_true",
+                       help="default queries to the fused inference "
+                            "graph's metric vector (per-query 'fuse' "
+                            "overrides)")
+    serve.add_argument("--domain-factor", type=float, default=10.0,
+                       help="flag query features beyond this multiple of "
+                            "the fitted range per response (FIT004); "
+                            "<= 0 disables")
+    serve.add_argument("--feature-cache", type=int, default=512,
+                       help="max entries of the (network, image, "
+                            "transform) feature-vector LRU cache")
+    serve.add_argument("--bench", action="store_true",
+                       help="boot an ephemeral server, drive it with a "
+                            "seeded load, write the benchmark JSON, exit")
+    serve.add_argument("--artifact", default=None,
+                       help="registry artifact to bench (default: the "
+                            "registry's default model)")
+    serve.add_argument("--queries", type=int, default=256,
+                       help="total queries the bench issues")
+    serve.add_argument("--threads", type=int, default=4,
+                       help="concurrent bench client threads")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="seed of the deterministic bench query mix")
+    serve.add_argument("-o", "--out", default="BENCH_serve.json",
+                       help="bench payload path (--bench)")
+    serve.set_defaults(func=_cmd_serve)
 
     report = sub.add_parser(
         "report", help="block-level latency report for one network"

@@ -240,7 +240,15 @@ class LinearModel:
                 f"design matrix has {X.shape[1]} columns, model expects "
                 f"{self.coef.shape[0]}"
             )
-        return X @ self.coef
+        # Columnwise left-to-right accumulation instead of ``X @ coef``:
+        # BLAS picks a different reduction order for an (N, k) matmul than
+        # for a single row, so the same query would predict differently
+        # alone vs inside a batch.  This order is shape-invariant, which
+        # the serve layer's batched-vs-sequential equivalence relies on.
+        total = X[:, 0] * self.coef[0]
+        for column in range(1, X.shape[1]):
+            total = total + X[:, column] * self.coef[column]
+        return total
 
     def coefficients(self) -> dict[str, float]:
         """Named coefficients for reporting."""

@@ -1,0 +1,71 @@
+"""Prediction-as-a-service: the `repro serve` HTTP layer.
+
+The paper's end product is a fitted predictor you *query*; this package
+is the long-running service surface over it (ROADMAP item 1).  Four
+modules, stdlib-only (``http.server`` threading — no new dependencies):
+
+* :mod:`repro.serve.registry` — versioned directory of v2 model
+  artifacts with hot reload on file change and serve-time rejection of
+  v1 documents;
+* :mod:`repro.serve.protocol` — the JSON request/response contract and
+  the vectorized batched predict (bit-equal to sequential evaluation);
+* :mod:`repro.serve.server` — the threaded HTTP server with
+  ``/predict``, ``/healthz`` and ``/metrics`` (trace-counter backed);
+* :mod:`repro.serve.bench` — the deterministic load generator behind
+  ``repro serve --bench`` and the ``BENCH_serve.json`` schema.
+
+See ``docs/serving.md`` for the protocol and registry layout.
+"""
+
+from repro.serve.bench import (
+    BENCH_SCHEMA,
+    BenchConfig,
+    bench_registry,
+    build_mix,
+    run_bench,
+    validate_bench_payload,
+    write_bench,
+)
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    FeatureCache,
+    PredictQuery,
+    PredictRequest,
+    ProtocolError,
+    answer_request,
+    predict_forward_batch,
+    predict_step_batch,
+)
+from repro.serve.registry import (
+    ArtifactEntry,
+    ModelRegistry,
+    RegistryError,
+    UnknownArtifactError,
+    write_manifest,
+)
+from repro.serve.server import PredictionServer, make_server
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "PROTOCOL_VERSION",
+    "ArtifactEntry",
+    "BenchConfig",
+    "FeatureCache",
+    "ModelRegistry",
+    "PredictQuery",
+    "PredictRequest",
+    "PredictionServer",
+    "ProtocolError",
+    "RegistryError",
+    "UnknownArtifactError",
+    "answer_request",
+    "bench_registry",
+    "build_mix",
+    "make_server",
+    "predict_forward_batch",
+    "predict_step_batch",
+    "run_bench",
+    "validate_bench_payload",
+    "write_bench",
+    "write_manifest",
+]

@@ -1,0 +1,496 @@
+"""The serve JSON protocol: query validation and vectorized prediction.
+
+Everything the HTTP layer does besides sockets lives here as pure
+functions, so the request/response contract is testable without a server
+and the ``repro serve`` responses are guaranteed to agree with the
+``repro predict`` CLI (both go through the same feature extraction and
+the same fitted models).
+
+A request is either one query or a batch::
+
+    {"model": "default", "network": "resnet18", "batch": 8}
+    {"model": "default",
+     "queries": [{"network": "alexnet", "batch": 1},
+                 {"network": "resnet50", "image": 128, "batch": 64}]}
+
+Batched requests are answered **vectorized**: one design matrix covering
+the whole query list and a single :meth:`LinearModel.predict` call per
+constituent regression, bit-for-bit equal to evaluating the queries one
+at a time (``tests/test_serve.py`` gates this with exact float ``==``,
+the same way the campaign byte-identity suites gate parallel workers).
+
+Query fields beyond the prediction coordinates:
+
+* ``"fuse"`` — predict from the inference-fused graph's metric vector
+  (the PR 5 pass pipeline), like ``repro predict --fuse``;
+* ``"device"`` — a hardware preset name; the response then notes when the
+  configuration would not fit that device's memory;
+* ``"node_counts"`` — switch the query to a scaling curve (Figure 8
+  machinery) instead of a single step prediction.
+
+Every response carries a ``"warnings"`` list with rendered FIT004
+extrapolation diagnostics from :mod:`repro.analysis.audit` — a served
+number that no measurement backs says so, per response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.analysis.audit import prediction_warnings
+from repro.benchdata.records import ConvNetFeatures
+from repro.core.features import forward_row
+from repro.core.forward import ForwardModel
+from repro.core.scalability import node_scaling_curve
+from repro.core.training import TrainingStepModel
+from repro.caching import LRUCache
+from repro.graph.passes import resolve_transform
+from repro.hardware.device import DEVICE_PRESETS
+from repro.hardware.memory import fits
+from repro.hardware.roofline import CostProfile, zoo_profile
+from repro.serve.registry import SERVABLE_KINDS, ArtifactEntry
+from repro.zoo import available_models
+
+#: Protocol version echoed in every response.
+PROTOCOL_VERSION = 1
+
+#: Default size of a server's (network, image, transform) feature cache.
+DEFAULT_FEATURE_CACHE = 512
+
+_QUERY_KEYS = frozenset({
+    "network", "image", "batch", "nodes", "devices", "device", "fuse",
+    "node_counts", "gpus_per_node",
+})
+
+_REQUEST_KEYS = frozenset({"model", "queries", "domain_factor"}) | _QUERY_KEYS
+
+
+class ProtocolError(ValueError):
+    """A request violates the protocol; carries the HTTP status to answer."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _positive_int(obj: dict, key: str, default: int) -> int:
+    value = obj.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"query field {key!r} must be an integer")
+    if value < 1:
+        raise ProtocolError(f"query field {key!r} must be >= 1, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class PredictQuery:
+    """One validated prediction coordinate."""
+
+    network: str
+    image: int = 224
+    batch: int = 1
+    nodes: int = 1
+    devices: int = 1
+    #: Hardware preset for memory-fit annotation ("" = no check).
+    device: str = ""
+    #: None inherits the server default; True/False overrides per query.
+    fuse: bool | None = None
+    #: Non-empty switches the query to a node-scaling curve.
+    node_counts: tuple[int, ...] = ()
+    gpus_per_node: int = 4
+
+    @staticmethod
+    def parse(obj: Any) -> "PredictQuery":
+        if not isinstance(obj, dict):
+            raise ProtocolError("each query must be a JSON object")
+        unknown = set(obj) - _QUERY_KEYS
+        if unknown:
+            raise ProtocolError(
+                f"unknown query field(s): {', '.join(sorted(unknown))}"
+            )
+        network = obj.get("network")
+        if not isinstance(network, str) or not network:
+            raise ProtocolError("query field 'network' (string) is required")
+        if network not in available_models():
+            raise ProtocolError(
+                f"unknown network {network!r}; see `repro models`", status=404
+            )
+        device = obj.get("device", "")
+        if not isinstance(device, str):
+            raise ProtocolError("query field 'device' must be a string")
+        if device and device not in DEVICE_PRESETS:
+            raise ProtocolError(
+                f"unknown device {device!r}; see `repro devices`", status=404
+            )
+        fuse = obj.get("fuse")
+        if fuse is not None and not isinstance(fuse, bool):
+            raise ProtocolError("query field 'fuse' must be a boolean")
+        raw_counts = obj.get("node_counts", ())
+        if not isinstance(raw_counts, (list, tuple)):
+            raise ProtocolError("query field 'node_counts' must be a list")
+        node_counts = []
+        for n in raw_counts:
+            if isinstance(n, bool) or not isinstance(n, int) or n < 1:
+                raise ProtocolError(
+                    "query field 'node_counts' must hold integers >= 1"
+                )
+            node_counts.append(n)
+        return PredictQuery(
+            network=network,
+            image=_positive_int(obj, "image", 224),
+            batch=_positive_int(obj, "batch", 1),
+            nodes=_positive_int(obj, "nodes", 1),
+            devices=_positive_int(obj, "devices", 1),
+            device=device,
+            fuse=fuse,
+            node_counts=tuple(node_counts),
+            gpus_per_node=_positive_int(obj, "gpus_per_node", 4),
+        )
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """One validated /predict body."""
+
+    model: str | None
+    queries: tuple[PredictQuery, ...]
+    #: False when the body carried inline query fields (single response
+    #: object) rather than a "queries" list.
+    batched: bool
+    domain_factor: float | None = None
+
+    @staticmethod
+    def parse(obj: Any) -> "PredictRequest":
+        if not isinstance(obj, dict):
+            raise ProtocolError("request body must be a JSON object")
+        unknown = set(obj) - _REQUEST_KEYS
+        if unknown:
+            raise ProtocolError(
+                f"unknown request field(s): {', '.join(sorted(unknown))}"
+            )
+        model = obj.get("model")
+        if model is not None and not isinstance(model, str):
+            raise ProtocolError("request field 'model' must be a string")
+        factor = obj.get("domain_factor")
+        if factor is not None:
+            if isinstance(factor, bool) or not isinstance(factor, (int, float)):
+                raise ProtocolError(
+                    "request field 'domain_factor' must be a number"
+                )
+            if factor <= 0:
+                raise ProtocolError(
+                    "request field 'domain_factor' must be positive"
+                )
+            factor = float(factor)
+        if "queries" in obj:
+            raw = obj["queries"]
+            if not isinstance(raw, list) or not raw:
+                raise ProtocolError(
+                    "request field 'queries' must be a non-empty list"
+                )
+            queries = tuple(PredictQuery.parse(q) for q in raw)
+            return PredictRequest(model, queries, True, factor)
+        query = PredictQuery.parse(
+            {k: v for k, v in obj.items() if k in _QUERY_KEYS}
+        )
+        return PredictRequest(model, (query,), False, factor)
+
+
+# -- feature resolution ------------------------------------------------------
+
+
+class FeatureCache:
+    """Bounded LRU of (network, image, transform) -> (profile, features).
+
+    The key identifies the costed graph completely: zoo builds are
+    deterministic and the transform string resolves to a content-
+    fingerprinted pass pipeline, so two equal keys always denote the same
+    graph fingerprint.  Profiles additionally share the global
+    ``zoo_profile`` cache; this layer saves the per-request pipeline
+    resolution and keeps serve traffic from evicting campaign entries.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_FEATURE_CACHE) -> None:
+        self._cache: LRUCache[
+            tuple[str, int, str], tuple[CostProfile, ConvNetFeatures]
+        ] = LRUCache(maxsize=maxsize)
+
+    def lookup(
+        self, network: str, image: int, transform: str
+    ) -> tuple[CostProfile, ConvNetFeatures]:
+        def build() -> tuple[CostProfile, ConvNetFeatures]:
+            profile = zoo_profile(
+                network, image, resolve_transform(transform)
+            )
+            return profile, ConvNetFeatures.from_profile(profile)
+
+        return self._cache.get_or_compute((network, image, transform), build)
+
+    def stats(self):
+        return self._cache.stats()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+# -- vectorized prediction ---------------------------------------------------
+
+
+def predict_forward_batch(
+    model: ForwardModel,
+    features: Sequence[ConvNetFeatures],
+    batches: Sequence[int],
+) -> np.ndarray:
+    """Forward times for N queries from one stacked design matrix."""
+    X = np.array(
+        [
+            forward_row(f, b, model.metric_names)
+            for f, b in zip(features, batches)
+        ]
+    )
+    return model.model.predict(X)
+
+
+def predict_step_batch(
+    model: TrainingStepModel,
+    features: Sequence[ConvNetFeatures],
+    batches: Sequence[int],
+    devices: Sequence[int],
+    nodes: Sequence[int],
+) -> tuple[np.ndarray, np.ndarray]:
+    """(forward, backward+update) times for N queries, vectorized.
+
+    The combined model is piecewise (single-node vs multi-node rows), so
+    the batch is partitioned by regime, each partition answered with one
+    stacked ``predict`` call, and the results scattered back into query
+    order — exactly equal to N ``predict_one`` calls.
+    """
+    from repro.core.features import combined_bwd_grad_row
+
+    fwd = predict_forward_batch(model.forward, features, batches)
+    bwd = np.empty(len(batches), dtype=np.float64)
+    single = [i for i, n in enumerate(nodes) if n == 1]
+    multi = [i for i, n in enumerate(nodes) if n > 1]
+    if single:
+        if not model.bwd_grad.single.is_fitted:
+            raise ProtocolError(
+                "no single-node records were available at fit time"
+            )
+        rows = np.array(
+            [
+                model.bwd_grad._single_row(features[i], batches[i])
+                for i in single
+            ]
+        )
+        bwd[single] = model.bwd_grad.single.predict(rows)
+    if multi:
+        if not model.bwd_grad.multi.is_fitted:
+            raise ProtocolError(
+                "no multi-node records were available at fit time"
+            )
+        rows = np.array(
+            [
+                combined_bwd_grad_row(features[i], batches[i], devices[i])
+                for i in multi
+            ]
+        )
+        bwd[multi] = model.bwd_grad.multi.predict(rows)
+    return fwd, bwd
+
+
+# -- request answering -------------------------------------------------------
+
+
+def _memory_note(
+    query: PredictQuery, profile: CostProfile, training: bool
+) -> list[str]:
+    if not query.device:
+        return []
+    device = DEVICE_PRESETS[query.device]
+    if fits(profile, query.batch, device, training=training):
+        return []
+    return [
+        f"configuration exceeds {query.device} memory at batch "
+        f"{query.batch}; the prediction extrapolates past what the device "
+        "could measure"
+    ]
+
+
+def _scaling_prediction(
+    entry: ArtifactEntry,
+    query: PredictQuery,
+    features: ConvNetFeatures,
+    profile: CostProfile,
+    fused: bool,
+    factor: float | None,
+) -> dict[str, Any]:
+    model = entry.model
+    if not isinstance(model, TrainingStepModel):
+        raise ProtocolError(
+            f"artifact {entry.name!r} ({entry.kind}) cannot answer scaling "
+            "queries; fit a training_step model"
+        )
+    warnings: list[str] = []
+    if factor is not None:
+        for n in query.node_counts:
+            warnings.extend(
+                prediction_warnings(
+                    model, features, query.batch,
+                    devices=n * query.gpus_per_node, nodes=n, factor=factor,
+                )
+            )
+    # The curve itself runs with the domain check silenced — the per-config
+    # warnings above already cover it without touching the (process-global)
+    # warnings machinery from server threads.
+    points = node_scaling_curve(
+        model, features, query.batch, query.node_counts,
+        gpus_per_node=query.gpus_per_node, domain_factor=None,
+    )
+    return {
+        "kind": "scaling",
+        "network": query.network,
+        "image": query.image,
+        "per_device_batch": query.batch,
+        "gpus_per_node": query.gpus_per_node,
+        "fuse": fused,
+        "points": [
+            {
+                "nodes": p.x,
+                "devices": p.devices,
+                "per_device_batch": p.per_device_batch,
+                "step_seconds": p.step_time,
+                "throughput": p.throughput,
+            }
+            for p in points
+        ],
+        "warnings": sorted(set(warnings)),
+        **({"memory": note} if (note := _memory_note(query, profile, True))
+           else {}),
+    }
+
+
+def answer_request(
+    request: PredictRequest,
+    entry: ArtifactEntry,
+    cache: FeatureCache,
+    *,
+    default_transform: str = "",
+    default_domain_factor: float | None = 10.0,
+) -> dict[str, Any]:
+    """Evaluate a validated request against one registry artifact.
+
+    Returns the JSON-safe response body.  Scaling queries are answered
+    per query; plain forward/step queries are answered vectorized across
+    the whole list.
+    """
+    model = entry.model
+    if entry.kind not in SERVABLE_KINDS:
+        raise ProtocolError(
+            f"artifact {entry.name!r} has kind {entry.kind!r}; servable "
+            f"kinds: {', '.join(SERVABLE_KINDS)}"
+        )
+    factor = (
+        request.domain_factor
+        if request.domain_factor is not None
+        else default_domain_factor
+    )
+    resolved: list[tuple[PredictQuery, CostProfile, ConvNetFeatures, bool]] = []
+    for query in request.queries:
+        fuse = (
+            (default_transform == "inference")
+            if query.fuse is None
+            else query.fuse
+        )
+        transform = "inference" if fuse else ""
+        try:
+            profile, features = cache.lookup(
+                query.network, query.image, transform
+            )
+        except (ValueError, KeyError) as exc:
+            raise ProtocolError(
+                f"cannot profile {query.network}@{query.image}: {exc}"
+            )
+        resolved.append((query, profile, features, fuse))
+
+    predictions: list[dict[str, Any]] = [{} for _ in resolved]
+    plain = [i for i, (q, *_rest) in enumerate(resolved) if not q.node_counts]
+    for i, (query, profile, features, fused) in enumerate(resolved):
+        if query.node_counts:
+            predictions[i] = _scaling_prediction(
+                entry, query, features, profile, fused, factor
+            )
+
+    if plain:
+        feats = [resolved[i][2] for i in plain]
+        batches = [resolved[i][0].batch for i in plain]
+        if isinstance(model, TrainingStepModel):
+            devices = [resolved[i][0].devices for i in plain]
+            nodes = [resolved[i][0].nodes for i in plain]
+            fwd, bwd = predict_step_batch(
+                model, feats, batches, devices, nodes
+            )
+            for j, i in enumerate(plain):
+                query, profile, features, fused = resolved[i]
+                total = float(fwd[j]) + float(bwd[j])
+                predictions[i] = {
+                    "kind": "training_step",
+                    "network": query.network,
+                    "image": query.image,
+                    "batch": query.batch,
+                    "nodes": query.nodes,
+                    "devices": query.devices,
+                    "fuse": fused,
+                    "t_seconds": total,
+                    "phases": {
+                        "forward": float(fwd[j]),
+                        "backward_plus_update": float(bwd[j]),
+                    },
+                    "throughput": query.batch * query.devices / total,
+                    "warnings": prediction_warnings(
+                        model, features, query.batch,
+                        devices=query.devices, nodes=query.nodes,
+                        factor=factor,
+                    )
+                    + _memory_note(query, profile, True),
+                }
+        elif isinstance(model, ForwardModel):
+            times = predict_forward_batch(model, feats, batches)
+            for j, i in enumerate(plain):
+                query, profile, features, fused = resolved[i]
+                t = float(times[j])
+                predictions[i] = {
+                    "kind": entry.kind,
+                    "network": query.network,
+                    "image": query.image,
+                    "batch": query.batch,
+                    "nodes": query.nodes,
+                    "devices": query.devices,
+                    "fuse": fused,
+                    "t_seconds": t,
+                    "throughput": query.batch / t,
+                    "warnings": prediction_warnings(
+                        model, features, query.batch,
+                        devices=query.devices, nodes=query.nodes,
+                        factor=factor,
+                    )
+                    + _memory_note(query, profile, False),
+                }
+        else:  # pragma: no cover - SERVABLE_KINDS restricts model types
+            raise ProtocolError(
+                f"cannot predict with {type(model).__name__}"
+            )
+
+    body: dict[str, Any] = {
+        "protocol": PROTOCOL_VERSION,
+        "model": entry.name,
+        "kind": entry.kind,
+    }
+    if request.batched:
+        body["count"] = len(predictions)
+        body["predictions"] = predictions
+    else:
+        body["prediction"] = predictions[0]
+    return body

@@ -26,6 +26,7 @@ from repro.trace.tracer import (
 from repro.trace.export import (
     chrome_json,
     chrome_payload,
+    render_prometheus,
     render_tree,
     to_chrome,
     to_json,
@@ -40,6 +41,7 @@ __all__ = [
     "TraceError",
     "merge_counters",
     "record_layer_phase",
+    "render_prometheus",
     "render_tree",
     "to_json",
     "to_chrome",

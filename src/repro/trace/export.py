@@ -18,8 +18,9 @@ yields byte-identical exports.
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Mapping
 
 from repro.trace.tracer import Span, Tracer
 
@@ -121,3 +122,25 @@ def write_chrome(trace: Tracer | Iterable[Span], path: str | Path) -> int:
     events = to_chrome(trace)
     Path(path).write_text(json.dumps(chrome_payload(events)))
     return len(events)
+
+
+_PROM_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def render_prometheus(
+    counters: Mapping[str, float], prefix: str = "repro_"
+) -> str:
+    """Counter totals in the Prometheus text exposition format.
+
+    The serve layer's ``/metrics`` endpoint answers ``Accept: text/plain``
+    with this rendering, so any Prometheus-compatible scraper can watch a
+    prediction server without a JSON adapter.  Counter names are
+    sanitised to the metric charset and emitted sorted, making the output
+    a pure function of the counter dict.
+    """
+    lines = []
+    for name in sorted(counters):
+        metric = prefix + _PROM_BAD_CHARS.sub("_", name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {float(counters[name]):g}")
+    return "\n".join(lines) + "\n" if lines else ""
