@@ -1,7 +1,8 @@
 """Reporting utilities: tables, scatter summaries, coefficient
 interpretation, the related-work matrix — and the static-analysis fronts:
-the graph IR verifier (:mod:`repro.analysis.verify`) and the fitted-model
-auditor (:mod:`repro.analysis.audit`)."""
+the graph IR verifier (:mod:`repro.analysis.verify`), the fitted-model
+auditor (:mod:`repro.analysis.audit`), and the concurrency-hazard
+analyzer (:mod:`repro.analysis.concurrency`)."""
 
 from repro.analysis.audit import (
     FIT_RULES,
@@ -9,6 +10,12 @@ from repro.analysis.audit import (
     audit_linear,
     audit_model,
     audit_prediction_query,
+)
+from repro.analysis.concurrency import (
+    CONCURRENCY_RULES,
+    analyze_paths,
+    analyze_source,
+    analyze_sources,
 )
 from repro.analysis.tables import format_table, format_series
 from repro.analysis.scatter import format_scatter, scatter_bins
@@ -28,6 +35,10 @@ __all__ = [
     "GraphVerificationError",
     "verify_graph",
     "verify_model",
+    "CONCURRENCY_RULES",
+    "analyze_paths",
+    "analyze_source",
+    "analyze_sources",
     "FIT_RULES",
     "ModelAuditError",
     "audit_linear",

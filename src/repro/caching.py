@@ -92,10 +92,12 @@ class LRUCache(Generic[K, V]):
         self._evictions = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: K) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def get_or_compute(self, key: K, compute: Callable[[], V]) -> V:
         """Return the cached value, computing and storing it on a miss."""
@@ -106,9 +108,12 @@ class LRUCache(Generic[K, V]):
                 return self._data[key]
             self._misses += 1
         # Compute outside the lock: graph builds are slow and independent.
+        # Two threads may compute the same key concurrently; the later
+        # insert simply overwrites with an identical (deterministically
+        # built) value, so the stale membership check is benign.
         value = compute()
         with self._lock:
-            self._data[key] = value
+            self._data[key] = value  # repro-lint: disable=CON005
             self._data.move_to_end(key)
             while len(self._data) > self.maxsize:
                 self._data.popitem(last=False)

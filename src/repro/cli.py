@@ -5,6 +5,7 @@ Mirrors how the paper's tooling would be used operationally::
     repro models                               # list the zoo
     repro verify --all-zoo                     # static graph IR checks
     repro lint src/repro                       # determinism-hazard linter
+    repro lint --domain concurrency src/repro  # lock-discipline race linter
     repro campaign --scenario inference -o data.json
     repro campaign --scenario inference --workers 8 \
                    --store runs/gpu --resume -o data.json
@@ -469,12 +470,26 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.diagnostics import has_errors, render_json, render_text
+    from repro.diagnostics import sort_diagnostics
     from repro.lint import lint_paths
 
-    diags, n_files = lint_paths(args.paths)
+    diags = []
+    n_files = 0
+    if args.domain in ("determinism", "all"):
+        det_diags, n_files = lint_paths(args.paths)
+        diags.extend(det_diags)
+    if args.domain in ("concurrency", "all"):
+        from repro.analysis.concurrency import analyze_paths
+
+        con_diags, n_files = analyze_paths(args.paths, ignore=args.ignore)
+        diags.extend(con_diags)
+    if args.ignore:
+        unwanted = set(args.ignore)
+        diags = [d for d in diags if d.rule not in unwanted]
     if args.select:
         wanted = set(args.select)
         diags = [d for d in diags if d.rule in wanted]
+    diags = sort_diagnostics(diags)
     if args.format == "json":
         print(render_json(diags, n_files, "file"))
     else:
@@ -578,17 +593,26 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="lint code for determinism hazards (unseeded RNGs, "
-             "unbounded caches, wall-clock reads)",
+             "unbounded caches, wall-clock reads) or concurrency "
+             "hazards (lock discipline, thread-hostile APIs)",
         epilog=_EXIT_CODES,
     )
     lint.add_argument("paths", nargs="*", default=["src/repro"],
                       help="files or directories to lint "
                            "(default: src/repro)")
+    lint.add_argument("--domain",
+                      choices=("determinism", "concurrency", "all"),
+                      default="determinism",
+                      help="which rule family to run: determinism "
+                           "(DET0xx, per-file), concurrency (CON0xx, "
+                           "whole-program lock/race analysis), or all")
     lint.add_argument("--format", choices=("text", "json"), default="text")
     lint.add_argument("--quiet", action="store_true",
                       help="print only the one-line summary")
     lint.add_argument("--select", nargs="*", default=(), metavar="RULE",
                       help="report only these rule ids (e.g. DET006)")
+    lint.add_argument("--ignore", nargs="*", default=(), metavar="RULE",
+                      help="rule ids to suppress (e.g. CON008)")
     lint.set_defaults(func=_cmd_lint)
 
     audit = sub.add_parser(

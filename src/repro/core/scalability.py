@@ -72,7 +72,12 @@ def _warn_extrapolation(
         )
     if violations:
         worst = max(violations, key=lambda v: v.excess)
-        warnings.warn(
+        # Statically reachable from server threads via answer_request ->
+        # _scaling_prediction, but the serve path always passes
+        # domain_factor=None, which returns at the top of this function
+        # before any warning; per-response warnings travel through the
+        # thread-safe prediction_warnings list instead.
+        warnings.warn(  # repro-lint: disable=CON006
             f"scaling curve extrapolates beyond {factor:g}x the fitted "
             f"range on {len(violations)} feature(s); worst: "
             f"{worst.describe()} (audit rule FIT004)",

@@ -19,7 +19,10 @@ specific hazards that would silently break reproducibility or scalability:
 
 Findings are :class:`repro.diagnostics.Diagnostic` records located by
 ``file:line``.  Suppress a finding with a trailing
-``# repro-lint: disable=DET00X`` comment on the offending line.
+``# repro-lint: disable=DET00X`` comment on the offending line; a
+suppression whose rule no longer fires is itself reported as ``SUP001``
+(see :mod:`repro.lint.suppress`, shared with the concurrency analyzer in
+:mod:`repro.analysis.concurrency`).
 """
 
 from repro.lint.rules import (
@@ -28,6 +31,7 @@ from repro.lint.rules import (
     lint_paths,
     lint_source,
 )
+from repro.lint.suppress import STALE_RULE, SuppressionIndex
 from repro.diagnostics import Diagnostic, Severity
 
 __all__ = [
@@ -35,6 +39,8 @@ __all__ = [
     "Severity",
     "LintRule",
     "LINT_RULES",
+    "STALE_RULE",
+    "SuppressionIndex",
     "lint_paths",
     "lint_source",
 ]

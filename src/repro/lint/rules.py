@@ -5,17 +5,22 @@ first (``import numpy as np`` / ``from functools import lru_cache as lc``)
 so the rules match the *canonical* dotted name being called, not its local
 spelling.  Every rule id, severity, and example lives in
 ``docs/static-analysis.md``.
+
+Suppression comments are handled by the shared
+:class:`repro.lint.suppress.SuppressionIndex`; a ``DET``-prefixed
+suppression that no longer matches any finding is reported here as a
+stale-suppression ``SUP001`` WARNING.
 """
 
 from __future__ import annotations
 
 import ast
-import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.diagnostics import Diagnostic, Severity, sort_diagnostics
+from repro.lint.suppress import STALE_RULE, SuppressionIndex
 
 #: ``random`` module-level functions that draw from (or reseed) the hidden
 #: global RNG — the call-order dependence that breaks byte-identical
@@ -53,9 +58,6 @@ _TIMING_SEGMENTS = frozenset({
     "seconds", "secs", "elapsed", "duration", "durations",
 })
 
-_SUPPRESS = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9_,\s]+)")
-
-
 def _dotted_name(node: ast.expr) -> list[str] | None:
     """``a.b.c`` as ``["a", "b", "c"]``; None for non-name expressions."""
     parts: list[str] = []
@@ -87,9 +89,9 @@ def _is_timing_name(name: str | None) -> bool:
 
 
 class _FileLinter(ast.NodeVisitor):
-    def __init__(self, path: str, source_lines: Sequence[str]) -> None:
+    def __init__(self, path: str, suppress: SuppressionIndex) -> None:
         self.path = path
-        self.lines = source_lines
+        self.suppress = suppress
         #: local alias -> canonical dotted module/name prefix.
         self.aliases: dict[str, str] = {}
         self.found: list[Diagnostic] = []
@@ -97,12 +99,7 @@ class _FileLinter(ast.NodeVisitor):
     # -- plumbing ----------------------------------------------------------
 
     def _suppressed(self, lineno: int, rule: str) -> bool:
-        if not 1 <= lineno <= len(self.lines):
-            return False
-        match = _SUPPRESS.search(self.lines[lineno - 1])
-        if not match:
-            return False
-        return rule in {r.strip() for r in match.group(1).split(",")}
+        return self.suppress.is_suppressed(lineno, rule)
 
     def _report(
         self, node: ast.AST, rule: str, severity: Severity, message: str,
@@ -289,8 +286,10 @@ def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
                 f"syntax error: {exc.msg}",
             )
         ]
-    linter = _FileLinter(path, source.splitlines())
+    suppress = SuppressionIndex(source)
+    linter = _FileLinter(path, suppress)
     linter.visit(tree)
+    linter.found.extend(suppress.stale_diagnostics(path, ("DET",)))
     return sort_diagnostics(linter.found)
 
 
@@ -356,4 +355,6 @@ LINT_RULES: tuple[LintRule, ...] = (
              "wall-clock read in a measurement path"),
     LintRule("DET006", Severity.WARN,
              "numpy.linalg.lstsq without an explicit rcond="),
+    LintRule(STALE_RULE, Severity.WARN,
+             "stale repro-lint suppression comment"),
 )

@@ -181,39 +181,65 @@ class ModelRegistry:
     def refresh(self) -> None:
         """Re-scan the directory: pick up added, changed and removed
         artifacts.  Load failures are recorded, not raised — one broken
-        artifact must not take down serving of the healthy ones."""
+        artifact must not take down serving of the healthy ones.
+
+        Artifact files are stat'd and parsed *outside* the lock (disk
+        latency must not stall every concurrent ``get()`` behind
+        ``_lock``); results are installed in a single critical section.
+        Two threads may race to load the same file change — the loser's
+        copy is discarded by the stat-identity check in
+        :meth:`_install_locked`, keeping reload counts exact."""
         declared = self._declared()
         with self._lock:
+            current = {
+                name: (entry.path, entry.mtime_ns, entry.size)
+                for name, entry in self._entries.items()
+            }
+        loaded: dict[str, ArtifactEntry] = {}
+        fresh_failures: dict[str, str] = {}
+        unchanged: set[str] = set()
+        for name, (path, device) in declared.items():
+            try:
+                stat = path.stat()
+            except OSError as exc:
+                fresh_failures[name] = (
+                    f"artifact {name!r}: cannot stat {path}: {exc}"
+                )
+                continue
+            if current.get(name) == (path, stat.st_mtime_ns, stat.st_size):
+                unchanged.add(name)
+                continue
+            try:
+                loaded[name] = _load_artifact(name, path, device)
+            except RegistryError as exc:
+                fresh_failures[name] = str(exc)
+        with self._lock:
             for name in list(self._entries):
-                if name not in declared:
-                    del self._entries[name]
-            self._failed = {}
-            for name, (path, device) in declared.items():
-                try:
-                    self._reload_locked(name, path, device)
-                except RegistryError as exc:
-                    self._entries.pop(name, None)
-                    self._failed[name] = str(exc)
+                if name not in declared or name in fresh_failures:
+                    # Re-validated here: a name that failed this scan (or
+                    # vanished from the manifest) is dropped even if a
+                    # concurrent get() reloaded it meanwhile.
+                    del self._entries[name]  # repro-lint: disable=CON005
+            self._failed = fresh_failures
+            for name, entry in loaded.items():
+                self._install_locked(name, entry)
 
-    def _reload_locked(self, name: str, path: Path, device: str) -> None:
-        """Load ``name`` from ``path`` unless the cached copy is current."""
-        try:
-            stat = path.stat()
-        except OSError as exc:
-            raise RegistryError(f"artifact {name!r}: cannot stat {path}: {exc}")
+    def _install_locked(self, name: str, entry: ArtifactEntry) -> ArtifactEntry:
+        """Install a freshly-loaded entry under ``_lock``, keeping reload
+        accounting exact when loads raced: if the incumbent already has
+        this entry's stat identity, a concurrent load of the same file
+        change won — keep it and discard ours."""
         current = self._entries.get(name)
-        if (
-            current is not None
-            and current.path == path
-            and (current.mtime_ns, current.size)
-            == (stat.st_mtime_ns, stat.st_size)
-        ):
-            return
-        entry = _load_artifact(name, path, device)
         if current is not None:
+            if (current.path, current.mtime_ns, current.size) == (
+                entry.path, entry.mtime_ns, entry.size
+            ):
+                return current
             entry.reloads = current.reloads + 1
             self._reloads += 1
         self._entries[name] = entry
+        self._failed.pop(name, None)
+        return entry
 
     # -- lookup ------------------------------------------------------------
 
@@ -224,20 +250,37 @@ class ModelRegistry:
     def get(self, name: str) -> ArtifactEntry:
         """The current entry for ``name``, hot-reloading on file change.
 
+        The stat/parse happens outside ``_lock`` (see :meth:`refresh`);
+        the result is installed with :meth:`_install_locked`, whose
+        stat-identity check re-validates against concurrent reloads.
+
         Raises :class:`UnknownArtifactError` for names the registry never
         held and :class:`RegistryError` when the artifact exists but will
         not serve (v1 document, unreadable file, parse failure).
         """
         with self._lock:
             entry = self._entries.get(name)
-            if entry is not None:
-                try:
-                    self._reload_locked(name, entry.path, entry.device)
-                except RegistryError as exc:
-                    self._entries.pop(name, None)
-                    self._failed[name] = str(exc)
-                    raise
-                return self._entries[name]
+        if entry is not None:
+            try:
+                stat = entry.path.stat()
+            except OSError as exc:
+                self._drop(name, entry,
+                           f"artifact {name!r}: cannot stat "
+                           f"{entry.path}: {exc}")
+                raise RegistryError(
+                    f"artifact {name!r}: cannot stat {entry.path}: {exc}"
+                )
+            if (entry.mtime_ns, entry.size) == (
+                stat.st_mtime_ns, stat.st_size
+            ):
+                return entry
+            try:
+                fresh = _load_artifact(name, entry.path, entry.device)
+            except RegistryError as exc:
+                self._drop(name, entry, str(exc))
+                raise
+            with self._lock:
+                return self._install_locked(name, fresh)
         # Unknown or previously-failed name: the artifact may have been
         # added (or repaired) after the failure was recorded — rescan
         # before giving up so a fixed file recovers without a restart.
@@ -248,6 +291,15 @@ class ModelRegistry:
             if name in self._failed:
                 raise RegistryError(self._failed[name])
         raise UnknownArtifactError(name)
+
+    def _drop(self, name: str, stale: ArtifactEntry, reason: str) -> None:
+        """Record a load failure for ``name``, evicting the cached entry
+        only if it is still the copy we failed to replace — a concurrent
+        thread may have installed a healthy reload meanwhile."""
+        with self._lock:
+            if self._entries.get(name) is stale:
+                del self._entries[name]
+            self._failed[name] = reason
 
     def default_name(self) -> str:
         """The artifact a request without ``"model"`` targets: ``default``

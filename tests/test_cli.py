@@ -272,3 +272,72 @@ class TestParser:
     def test_unknown_device_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["campaign", "--device", "tpu", "-o", str(tmp_path / "x")])
+
+
+class TestLintDomains:
+    """`repro lint` fronts two analyzers behind one contract: exit 0 clean,
+    1 on errors, 2 on usage error; `--quiet`, `--ignore`, and the JSON
+    schema behave identically for `--domain determinism|concurrency|all`."""
+
+    RACY = (
+        "import threading\n"
+        "STATE = {}\n"
+        "def worker():\n"
+        "    STATE['k'] = 1\n"
+        "def spawn():\n"
+        "    threading.Thread(target=worker).start()\n"
+    )
+
+    def test_default_domain_is_determinism(self, tmp_path, capsys):
+        # The racy-but-deterministic file is clean for the default domain.
+        bad = tmp_path / "racy.py"
+        bad.write_text(self.RACY)
+        assert main(["lint", str(bad)]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--domain", "concurrency", str(bad)]) == 1
+        assert "CON001" in capsys.readouterr().out
+
+    def test_domain_all_merges_both_reports(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n" + self.RACY +
+                       "def draw():\n    return random.random()\n")
+        assert main(["lint", "--domain", "all", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "CON001" in out and "DET001" in out
+
+    def test_ignore_rule_restores_exit_zero(self, tmp_path, capsys):
+        bad = tmp_path / "racy.py"
+        bad.write_text(self.RACY)
+        # Paths precede --ignore: the nargs="*" flag would swallow a
+        # trailing positional (same ordering the DET006 CI step uses).
+        rc = main(["lint", "--domain", "concurrency", str(bad),
+                   "--ignore", "CON001"])
+        assert rc == 0
+        assert "1 file" in capsys.readouterr().out
+
+    def test_quiet_single_summary_line(self, tmp_path, capsys):
+        bad = tmp_path / "racy.py"
+        bad.write_text(self.RACY)
+        rc = main(["lint", "--domain", "concurrency", "--quiet", str(bad)])
+        assert rc == 1
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1 and "1 error" in lines[0]
+
+    def test_json_schema_shared_across_domains(self, tmp_path, capsys):
+        bad = tmp_path / "racy.py"
+        bad.write_text(self.RACY)
+        rc = main(["lint", "--domain", "concurrency", "--format", "json",
+                   str(bad)])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert sorted(payload) == ["diagnostics", "summary"]
+        diag = payload["diagnostics"][0]
+        assert diag["rule"] == "CON001"
+        assert diag["severity"] == "ERROR"
+        assert payload["summary"]["errors"] == 1
+        assert payload["summary"]["unit"] == "file"
+
+    def test_bad_domain_is_usage_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["lint", "--domain", "nonsense"])
+        assert exc.value.code == 2

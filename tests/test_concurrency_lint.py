@@ -1,0 +1,892 @@
+"""Concurrency-hazard analyzer: every CON rule firing, staying silent,
+and suppressible; call-graph/entry-lock behaviors; the CLI contract; and
+the repository gate (`src/repro` must be clean)."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.concurrency import (
+    CONCURRENCY_RULES,
+    analyze_paths,
+    analyze_source,
+    analyze_sources,
+)
+from repro.cli import main
+from repro.diagnostics import Severity, has_errors
+
+
+def rules_of(source: str, **kwargs) -> list[str]:
+    return [
+        d.rule
+        for d in analyze_source(textwrap.dedent(source), **kwargs)
+    ]
+
+
+def diags_of(source: str):
+    return analyze_source(textwrap.dedent(source))
+
+
+class TestParseErrorsCON000:
+    def test_syntax_error_fires(self):
+        assert rules_of("def broken(:\n    pass\n") == ["CON000"]
+
+    def test_valid_module_is_silent(self):
+        assert rules_of("x = 1\n") == []
+
+    def test_missing_path_reported_not_raised(self, tmp_path):
+        diags, n_files = analyze_paths([tmp_path / "absent.py"])
+        assert [d.rule for d in diags] == ["CON000"]
+        assert n_files == 0
+
+
+class TestGlobalMutationCON001:
+    def test_thread_reachable_unguarded_mutation_fires(self):
+        assert "CON001" in rules_of(
+            """
+            import threading
+
+            STATE = {}
+
+            def worker():
+                STATE["k"] = 1
+
+            def spawn():
+                threading.Thread(target=worker).start()
+            """
+        )
+
+    def test_global_rebind_fires(self):
+        assert "CON001" in rules_of(
+            """
+            import threading
+
+            TOTAL = []
+
+            def worker():
+                global TOTAL
+                TOTAL = []
+
+            def spawn():
+                threading.Thread(target=worker).start()
+            """
+        )
+
+    def test_lock_guarded_mutation_is_silent(self):
+        assert rules_of(
+            """
+            import threading
+
+            STATE = {}
+            _STATE_LOCK = threading.Lock()
+
+            def worker():
+                with _STATE_LOCK:
+                    STATE["k"] = 1
+
+            def spawn():
+                threading.Thread(target=worker).start()
+            """
+        ) == []
+
+    def test_not_thread_reachable_is_silent(self):
+        assert rules_of(
+            """
+            STATE = {}
+
+            def offline():
+                STATE["k"] = 1
+            """
+        ) == []
+
+    def test_suppression_comment_works(self):
+        assert rules_of(
+            """
+            import threading
+
+            STATE = {}
+
+            def worker():
+                STATE["k"] = 1  # repro-lint: disable=CON001
+
+            def spawn():
+                threading.Thread(target=worker).start()
+            """
+        ) == []
+
+
+class TestTornAttributeCON002:
+    COUNTER = """
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._n = 0
+
+            def inc(self):
+                with self._lock:
+                    self._n += 1
+
+            def bad_inc(self):
+                self._n += 1
+    """
+
+    def test_unguarded_mutation_is_error(self):
+        diags = diags_of(self.COUNTER)
+        assert [d.rule for d in diags] == ["CON002"]
+        assert diags[0].severity is Severity.ERROR
+        assert "bad_inc" not in diags[0].message  # located, not named
+        assert ":14" in diags[0].location
+
+    def test_unguarded_read_is_warning(self):
+        diags = diags_of(
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def inc(self):
+                    with self._lock:
+                        self._n += 1
+
+                def peek(self):
+                    return self._n
+            """
+        )
+        assert [d.rule for d in diags] == ["CON002"]
+        assert diags[0].severity is Severity.WARN
+
+    def test_consistent_discipline_is_silent(self):
+        assert rules_of(
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def inc(self):
+                    with self._lock:
+                        self._n += 1
+
+                def peek(self):
+                    with self._lock:
+                        return self._n
+            """
+        ) == []
+
+    def test_undisciplined_class_is_silent(self):
+        # No lock anywhere: there is no discipline to contradict.  (This
+        # is the documented CON002 limit — see docs/static-analysis.md.)
+        assert rules_of(
+            """
+            class Tracer:
+                def __init__(self):
+                    self._counters = {}
+
+                def count(self, name, value):
+                    self._counters[name] = (
+                        self._counters.get(name, 0.0) + value
+                    )
+            """
+        ) == []
+
+    def test_entry_lock_propagation_guards_helpers(self):
+        # A helper only ever called under the lock inherits it — the
+        # `_locked`-suffix convention needs no annotation.
+        assert rules_of(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}
+
+                def add(self, key, value):
+                    with self._lock:
+                        self._add_locked(key, value)
+
+                def _add_locked(self, key, value):
+                    self._items[key] = value
+            """
+        ) == []
+
+    def test_entry_lock_intersection_catches_unlocked_caller(self):
+        # `_store_locked` is also reachable from `sneak`, which holds no
+        # lock — the call-site intersection strips the helper's guard and
+        # its write contradicts the guarded write in `add`.
+        assert "CON002" in rules_of(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}
+
+                def add(self, key, value):
+                    with self._lock:
+                        self._items[key] = value
+
+                def sneak(self, key, value):
+                    self._store_locked(key, value)
+
+                def locked_store(self, key, value):
+                    with self._lock:
+                        self._store_locked(key, value)
+
+                def _store_locked(self, key, value):
+                    self._items[key] = value
+            """
+        )
+
+    def test_suppression_comment_works(self):
+        assert rules_of(
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def inc(self):
+                    with self._lock:
+                        self._n += 1
+
+                def bad_inc(self):
+                    self._n += 1  # repro-lint: disable=CON002
+            """
+        ) == []
+
+
+class TestBareAcquireCON003:
+    def test_bare_acquire_fires(self):
+        diags = diags_of(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def touch(self):
+                    self._lock.acquire()
+                    self._lock.release()
+            """
+        )
+        assert [d.rule for d in diags] == ["CON003"]
+        assert diags[0].severity is Severity.ERROR
+
+    def test_try_finally_release_is_silent(self):
+        assert rules_of(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def touch(self):
+                    self._lock.acquire()
+                    try:
+                        pass
+                    finally:
+                        self._lock.release()
+            """
+        ) == []
+
+    def test_with_block_is_silent(self):
+        assert rules_of(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def touch(self):
+                    with self._lock:
+                        pass
+            """
+        ) == []
+
+    def test_suppression_comment_works(self):
+        assert rules_of(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def touch(self):
+                    self._lock.acquire()  # repro-lint: disable=CON003
+                    self._lock.release()
+            """
+        ) == []
+
+
+class TestLockOrderCON004:
+    def test_inverted_order_fires_once(self):
+        diags = diags_of(
+            """
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._a_lock = threading.Lock()
+                    self._b_lock = threading.Lock()
+
+                def ab(self):
+                    with self._a_lock:
+                        with self._b_lock:
+                            pass
+
+                def ba(self):
+                    with self._b_lock:
+                        with self._a_lock:
+                            pass
+            """
+        )
+        assert [d.rule for d in diags] == ["CON004"]
+        assert "opposite order" in diags[0].message
+
+    def test_inversion_across_call_graph_fires(self):
+        # ab holds a and calls a helper that takes b; ba does the
+        # reverse through its own helper — the cycle only exists in the
+        # call graph, never syntactically in one function.
+        assert "CON004" in rules_of(
+            """
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._a_lock = threading.Lock()
+                    self._b_lock = threading.Lock()
+
+                def ab(self):
+                    with self._a_lock:
+                        self._take_b()
+
+                def _take_b(self):
+                    with self._b_lock:
+                        pass
+
+                def ba(self):
+                    with self._b_lock:
+                        self._take_a()
+
+                def _take_a(self):
+                    with self._a_lock:
+                        pass
+            """
+        )
+
+    def test_consistent_order_is_silent(self):
+        assert rules_of(
+            """
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._a_lock = threading.Lock()
+                    self._b_lock = threading.Lock()
+
+                def one(self):
+                    with self._a_lock:
+                        with self._b_lock:
+                            pass
+
+                def two(self):
+                    with self._a_lock:
+                        with self._b_lock:
+                            pass
+            """
+        ) == []
+
+    def test_suppression_comment_works(self):
+        assert "CON004" not in rules_of(
+            """
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._a_lock = threading.Lock()
+                    self._b_lock = threading.Lock()
+
+                def ab(self):
+                    with self._a_lock:
+                        with self._b_lock:  # repro-lint: disable=CON004
+                            pass
+
+                def ba(self):
+                    with self._b_lock:
+                        with self._a_lock:  # repro-lint: disable=CON004
+                            pass
+            """
+        )
+
+
+class TestCheckThenActCON005:
+    RACY = """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data = {}
+
+            def put_if_absent(self, key, value):
+                with self._lock:
+                    present = key in self._data
+                if present:
+                    return
+                with self._lock:
+                    self._data[key] = value
+    """
+
+    def test_separate_acquisitions_fire(self):
+        diags = diags_of(self.RACY)
+        assert [d.rule for d in diags] == ["CON005"]
+        assert diags[0].severity is Severity.WARN
+
+    def test_single_critical_section_is_silent(self):
+        assert rules_of(
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+
+                def put_if_absent(self, key, value):
+                    with self._lock:
+                        if key not in self._data:
+                            self._data[key] = value
+            """
+        ) == []
+
+    def test_suppression_comment_works(self):
+        source = self.RACY.replace(
+            "self._data[key] = value",
+            "self._data[key] = value  # repro-lint: disable=CON005",
+        )
+        assert rules_of(source) == []
+
+
+class TestHostileApisCON006:
+    def test_warn_from_handler_method_fires(self):
+        diags = diags_of(
+            """
+            import warnings
+            from http.server import BaseHTTPRequestHandler
+
+            class Handler(BaseHTTPRequestHandler):
+                def do_GET(self):
+                    warnings.warn("racy")
+            """
+        )
+        assert [d.rule for d in diags] == ["CON006"]
+        assert "warnings" in diags[0].message
+
+    def test_global_rng_from_thread_target_fires(self):
+        assert "CON006" in rules_of(
+            """
+            import random
+            import threading
+
+            def worker():
+                return random.random()
+
+            def spawn():
+                threading.Thread(target=worker).start()
+            """
+        )
+
+    def test_environ_mutation_fires(self):
+        assert "CON006" in rules_of(
+            """
+            import os
+            import threading
+
+            def worker():
+                os.environ["MODE"] = "fast"
+
+            def spawn():
+                threading.Thread(target=worker).start()
+            """
+        )
+
+    def test_unreachable_warn_is_silent(self):
+        assert rules_of(
+            """
+            import warnings
+
+            def offline():
+                warnings.warn("campaign-side, no threads involved")
+            """
+        ) == []
+
+    def test_suppression_comment_works(self):
+        assert rules_of(
+            """
+            import warnings
+            from http.server import BaseHTTPRequestHandler
+
+            class Handler(BaseHTTPRequestHandler):
+                def do_GET(self):
+                    warnings.warn("ok")  # repro-lint: disable=CON006
+            """
+        ) == []
+
+
+class TestProcessCapturesCON007:
+    def test_bound_method_with_lock_fires(self):
+        diags = diags_of(
+            """
+            import threading
+            from concurrent.futures import ProcessPoolExecutor
+
+            class Owner:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def go(self):
+                    with ProcessPoolExecutor() as pool:
+                        pool.submit(self._work, 1)
+
+                def _work(self, x):
+                    return x
+            """
+        )
+        assert [d.rule for d in diags] == ["CON007"]
+        assert "lock" in diags[0].message
+
+    def test_lambda_fires(self):
+        assert "CON007" in rules_of(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def go():
+                with ProcessPoolExecutor() as pool:
+                    pool.submit(lambda: 1)
+            """
+        )
+
+    def test_module_function_is_silent(self):
+        assert rules_of(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def task(x):
+                return x
+
+            def go():
+                with ProcessPoolExecutor() as pool:
+                    pool.map(task, [1, 2, 3])
+            """
+        ) == []
+
+    def test_thread_pool_bound_method_is_silent(self):
+        # Threads share the interpreter: bound methods are fine there.
+        assert "CON007" not in rules_of(
+            """
+            import threading
+            from concurrent.futures import ThreadPoolExecutor
+
+            class Owner:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def go(self):
+                    with ThreadPoolExecutor() as pool:
+                        pool.submit(self._work, 1)
+
+                def _work(self, x):
+                    return x
+            """
+        )
+
+    def test_suppression_comment_works(self):
+        assert rules_of(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def go():
+                with ProcessPoolExecutor() as pool:
+                    pool.submit(lambda: 1)  # repro-lint: disable=CON007
+            """
+        ) == []
+
+
+class TestBlockingUnderLockCON008:
+    def test_sleep_under_lock_fires(self):
+        diags = diags_of(
+            """
+            import threading
+            import time
+
+            class Slow:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def nap(self):
+                    with self._lock:
+                        time.sleep(0.1)
+            """
+        )
+        assert [d.rule for d in diags] == ["CON008"]
+        assert diags[0].severity is Severity.WARN
+
+    def test_entry_lock_propagates_into_helper(self):
+        # The blocking call sits in a helper that never mentions the
+        # lock — only the call-site intersection knows it is held.
+        diags = diags_of(
+            """
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def load(self, path):
+                    with self._lock:
+                        return self._fill(path)
+
+                def _fill(self, path):
+                    return path.read_text()
+            """
+        )
+        assert [d.rule for d in diags] == ["CON008"]
+        assert "read_text" in diags[0].message
+
+    def test_io_outside_lock_is_silent(self):
+        assert rules_of(
+            """
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._doc = None
+
+                def load(self, path):
+                    text = path.read_text()
+                    with self._lock:
+                        self._doc = text
+            """
+        ) == []
+
+    def test_suppression_comment_works(self):
+        assert rules_of(
+            """
+            import threading
+            import time
+
+            class Slow:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def nap(self):
+                    with self._lock:
+                        time.sleep(0.1)  # repro-lint: disable=CON008
+            """
+        ) == []
+
+
+class TestCrossModuleAnalysis:
+    def test_thread_root_in_one_module_reaches_another(self):
+        diags = analyze_sources(
+            [
+                (
+                    "state.py",
+                    textwrap.dedent(
+                        """
+                        STATE = {}
+
+                        def poke():
+                            STATE["k"] = 1
+                        """
+                    ),
+                ),
+                (
+                    "spawn.py",
+                    textwrap.dedent(
+                        """
+                        import threading
+
+                        from state import poke
+
+                        def go():
+                            threading.Thread(target=poke).start()
+                        """
+                    ),
+                ),
+            ]
+        )
+        assert [d.rule for d in diags] == ["CON001"]
+        assert "state.py" in diags[0].location
+
+
+class TestStaleSuppressions:
+    def test_stale_con_suppression_reported(self):
+        diags = diags_of(
+            """
+            def harmless():
+                return 1  # repro-lint: disable=CON001
+            """
+        )
+        assert [d.rule for d in diags] == ["SUP001"]
+        assert diags[0].severity is Severity.WARN
+
+    def test_det_suppressions_not_judged_here(self):
+        # DET-prefixed comments belong to the determinism linter; the
+        # concurrency analyzer must not call them stale.
+        assert rules_of(
+            """
+            def harmless():
+                return 1  # repro-lint: disable=DET005
+            """
+        ) == []
+
+
+class TestRuleCatalogue:
+    def test_all_eight_rules_plus_parse_registered(self):
+        ids = [r.rule for r in CONCURRENCY_RULES]
+        assert ids == [f"CON00{i}" for i in range(9)]
+
+    def test_severities_match_docs(self):
+        by_id = {r.rule: r.severity for r in CONCURRENCY_RULES}
+        assert by_id["CON005"] is Severity.WARN
+        assert by_id["CON008"] is Severity.WARN
+        assert by_id["CON004"] is Severity.ERROR
+
+
+class TestRepositoryIsClean:
+    def test_src_repro_gates_clean(self):
+        diags, n_files = analyze_paths(["src/repro"])
+        errors = [d for d in diags if d.severity is Severity.ERROR]
+        assert errors == [], "\n".join(d.render() for d in errors)
+        assert n_files > 50
+
+    def test_no_stale_suppressions_either_domain(self):
+        from repro.lint import lint_paths
+
+        con_diags, _ = analyze_paths(["src/repro"])
+        det_diags, _ = lint_paths(["src/repro"])
+        stale = [
+            d for d in [*con_diags, *det_diags] if d.rule == "SUP001"
+        ]
+        assert stale == [], "\n".join(d.render() for d in stale)
+
+
+class TestConcurrencyCLI:
+    def test_clean_repo_exits_zero(self, capsys):
+        rc = main(["lint", "--domain", "concurrency", "src/repro"])
+        assert rc == 0
+        assert "0 errors" in capsys.readouterr().out
+
+    def test_errors_exit_one(self, tmp_path, capsys):
+        bad = tmp_path / "racy.py"
+        bad.write_text(
+            textwrap.dedent(
+                """
+                import threading
+
+                STATE = {}
+
+                def worker():
+                    STATE["k"] = 1
+
+                def spawn():
+                    threading.Thread(target=worker).start()
+                """
+            )
+        )
+        rc = main(["lint", "--domain", "concurrency", str(bad)])
+        assert rc == 1
+        assert "CON001" in capsys.readouterr().out
+
+    def test_ignore_flag_silences_rule(self, tmp_path, capsys):
+        bad = tmp_path / "racy.py"
+        bad.write_text(
+            textwrap.dedent(
+                """
+                import threading
+
+                STATE = {}
+
+                def worker():
+                    STATE["k"] = 1
+
+                def spawn():
+                    threading.Thread(target=worker).start()
+                """
+            )
+        )
+        # Paths go before --ignore: nargs="*" flags swallow trailing
+        # positionals (same convention the DET006 CI step uses).
+        rc = main(
+            ["lint", "--domain", "concurrency", str(bad),
+             "--ignore", "CON001"]
+        )
+        assert rc == 0
+        assert "1 file" in capsys.readouterr().out
+
+    def test_quiet_prints_single_line(self, capsys):
+        rc = main(
+            ["lint", "--domain", "concurrency", "--quiet", "src/repro"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out.strip()
+        assert len(out.splitlines()) == 1
+
+    def test_json_schema_matches_lint(self, tmp_path, capsys):
+        bad = tmp_path / "racy.py"
+        bad.write_text("import threading\n_LOCK = threading.Lock()\n")
+        rc = main(
+            ["lint", "--domain", "concurrency", "--format", "json",
+             str(bad)]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert sorted(payload) == ["diagnostics", "summary"]
+        assert payload["summary"]["unit"] == "file"
+
+    def test_domain_all_runs_both_families(self, tmp_path, capsys):
+        bad = tmp_path / "both.py"
+        bad.write_text(
+            textwrap.dedent(
+                """
+                import threading
+                import time
+
+                STATE = {}
+
+                def worker():
+                    t = time.time()
+                    STATE["k"] = t
+
+                def spawn():
+                    threading.Thread(target=worker).start()
+                """
+            )
+        )
+        rc = main(["lint", "--domain", "all", str(bad)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "DET005" in out and "CON001" in out
+
+    def test_unknown_domain_is_usage_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["lint", "--domain", "bogus"])
+        assert exc.value.code == 2

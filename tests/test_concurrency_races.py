@@ -1,0 +1,196 @@
+"""Deterministic multi-thread stress tests for the serving layer's shared
+state — the dynamic counterpart of the static CON rules.
+
+Every test here is exact, not probabilistic: workers start on a
+:class:`threading.Barrier` and the assertions demand precise totals.  The
+lost-update demonstration does not *hope* for an unlucky interleaving — it
+forces one, by injecting a dict whose ``get()`` parks the first reader on
+a barrier until the second reader has also read.  That drives the real
+(unguarded) ``Tracer.count`` read-modify-write into the classic race shape
+and proves the loss; the lock-wrapped discipline used by
+``PredictionServer.count`` then provably cannot lose an update under the
+same barrier schedule.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.caching import LRUCache
+from repro.trace import Tracer
+
+
+class _WindowDict(dict):
+    """A dict whose first ``window`` ``get()`` calls rendezvous on a
+    barrier *after* reading, widening the read→write race window of an
+    unguarded read-modify-write to a certainty.
+
+    With ``tolerant=True`` the parked read gives up quietly when no
+    second concurrent reader ever arrives — which is precisely what a
+    correctly lock-guarded caller guarantees, since mutual exclusion
+    makes two threads simultaneously holding stale reads impossible."""
+
+    def __init__(self, window: int, tolerant: bool = False):
+        super().__init__()
+        self._barrier = threading.Barrier(window)
+        self._remaining = window
+        self._gate = threading.Lock()
+        self._tolerant = tolerant
+
+    def get(self, key, default=None):
+        value = super().get(key, default)
+        with self._gate:
+            park = self._remaining > 0
+            if park:
+                self._remaining -= 1
+        if park:
+            try:
+                # Both racers hold stale reads here before either writes.
+                self._barrier.wait(timeout=0.5 if self._tolerant else 10)
+            except threading.BrokenBarrierError:
+                if not self._tolerant:
+                    raise
+                self._barrier.reset()
+        return value
+
+
+class TestTracerCounterRace:
+    def test_unguarded_rmw_loses_an_update(self):
+        """The real ``Tracer.count`` body is ``d[k] = d.get(k) + v`` with
+        no lock — CON002's target shape.  With both threads parked between
+        read and write, one increment must vanish: 2 threads x 1.0 ends at
+        1.0, not 2.0."""
+        tracer = Tracer()
+        tracer._counters = _WindowDict(window=2)
+
+        def worker():
+            tracer.count("flops", 1.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert not any(t.is_alive() for t in threads)
+        assert tracer.counters["flops"] == 1.0  # one update lost, exactly
+
+    def test_lock_guarded_rmw_is_exact(self):
+        """The discipline ``PredictionServer.count`` uses — every
+        increment under one lock — keeps the total exact even with the
+        same widened race window underneath.  The tolerant window parks
+        each read waiting for a concurrent second reader; the lock makes
+        that rendezvous impossible, so every wait times out alone and
+        both increments land."""
+        tracer = Tracer()
+        tracer._counters = _WindowDict(window=2, tolerant=True)
+        lock = threading.Lock()
+
+        def worker():
+            with lock:
+                tracer.count("flops", 1.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert not any(t.is_alive() for t in threads)
+        assert tracer.counters["flops"] == 2.0
+
+    def test_barrier_started_workers_total_exactly(self):
+        """W barrier-started workers x K guarded increments each ==
+        exactly W*K — the serving layer's counter contract."""
+        workers, per_worker = 8, 250
+        tracer = Tracer()
+        lock = threading.Lock()
+        start = threading.Barrier(workers)
+
+        def worker():
+            start.wait(timeout=10)
+            for _ in range(per_worker):
+                with lock:
+                    tracer.count("requests", 1.0)
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for future in [pool.submit(worker) for _ in range(workers)]:
+                future.result(timeout=30)
+        assert tracer.counters["requests"] == float(workers * per_worker)
+
+
+class TestLRUCacheUnderConcurrency:
+    def test_stats_exact_with_distinct_keys(self):
+        """With maxsize >= total keys, W barrier-started workers filling
+        disjoint key ranges must produce exactly W*K misses, then exactly
+        W*K hits on the re-read round, with zero evictions."""
+        workers, per_worker = 8, 50
+        total = workers * per_worker
+        cache = LRUCache(maxsize=total)
+        start = threading.Barrier(workers)
+
+        def fill(worker_id):
+            start.wait(timeout=10)
+            for i in range(per_worker):
+                key = (worker_id, i)
+                value = cache.get_or_compute(key, lambda k=key: k)
+                assert value == key
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for future in [pool.submit(fill, w) for w in range(workers)]:
+                future.result(timeout=30)
+
+        stats = cache.stats()
+        assert stats.misses == total
+        assert stats.hits == 0
+        assert stats.evictions == 0
+        assert len(cache) == total
+
+        start = threading.Barrier(workers)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for future in [pool.submit(fill, w) for w in range(workers)]:
+                future.result(timeout=30)
+
+        stats = cache.stats()
+        assert stats.misses == total
+        assert stats.hits == total
+        assert len(cache) == total
+
+    def test_len_and_contains_are_guarded(self):
+        """``__len__``/``__contains__`` take the lock (the CON002 WARNs
+        fixed in this change) — hammering them against concurrent inserts
+        must never raise and must end consistent."""
+        workers = 4
+        cache = LRUCache(maxsize=1024)
+        start = threading.Barrier(workers * 2)
+
+        def writer(worker_id):
+            start.wait(timeout=10)
+            for i in range(200):
+                cache.get_or_compute((worker_id, i), lambda: i)
+
+        def reader(worker_id):
+            start.wait(timeout=10)
+            for i in range(200):
+                len(cache)
+                (worker_id, i) in cache
+
+        with ThreadPoolExecutor(max_workers=workers * 2) as pool:
+            futures = [pool.submit(writer, w) for w in range(workers)]
+            futures += [pool.submit(reader, w) for w in range(workers)]
+            for future in futures:
+                future.result(timeout=30)
+
+        assert len(cache) == workers * 200
+        for w in range(workers):
+            assert (w, 0) in cache
+
+    def test_eviction_exactness_single_thread(self):
+        """Baseline for the bound: K inserts into a maxsize-M cache leave
+        exactly M entries and K-M evictions."""
+        cache = LRUCache(maxsize=8)
+        for i in range(32):
+            cache.get_or_compute(i, lambda v=i: v)
+        stats = cache.stats()
+        assert len(cache) == 8
+        assert stats.evictions == 24
+        assert stats.misses == 32
+        assert stats.hits == 0
+        assert 31 in cache and 0 not in cache

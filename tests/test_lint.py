@@ -328,3 +328,49 @@ class TestCacheMigrations:
         assert common.gpu_inference_data() is first
         assert common.DATASET_CACHE.maxsize == 8
         assert common.DATASET_CACHE.stats().hits >= 1
+
+
+class TestStaleSuppressionSUP001:
+    """Suppression comments that no longer suppress anything are WARNed
+    about — tracked per domain by rule-id prefix (DET here)."""
+
+    def test_stale_suppression_fires(self):
+        diags = lint_source(
+            "def harmless():\n"
+            "    return 1  # repro-lint: disable=DET001\n"
+        )
+        assert [d.rule for d in diags] == ["SUP001"]
+        assert diags[0].severity is Severity.WARN
+        assert "DET001" in diags[0].message
+
+    def test_used_suppression_is_not_stale(self):
+        diags = lint_source(
+            "import random\n"
+            "x = random.random()  # repro-lint: disable=DET001\n"
+        )
+        assert diags == []
+
+    def test_con_prefixed_comment_not_judged_by_det_domain(self):
+        # CON suppressions belong to the concurrency analyzer; the
+        # determinism linter must not call them stale.
+        diags = lint_source(
+            "def harmless():\n"
+            "    return 1  # repro-lint: disable=CON001\n"
+        )
+        assert diags == []
+
+    def test_docstring_mention_is_not_a_suppression(self):
+        # Comments come from tokenize, so the literal text inside a
+        # docstring neither suppresses nor counts as stale.
+        diags = lint_source(
+            '"""Docs quoting `# repro-lint: disable=DET001` syntax."""\n'
+            "x = 1\n"
+        )
+        assert diags == []
+
+    def test_sup001_is_itself_suppressible(self):
+        diags = lint_source(
+            "def harmless():\n"
+            "    return 1  # repro-lint: disable=DET001,SUP001\n"
+        )
+        assert diags == []
