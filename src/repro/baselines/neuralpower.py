@@ -35,11 +35,23 @@ def polynomial_row(
 ) -> np.ndarray:
     """Polynomial expansion of the batch-scaled metrics plus intercept."""
     base = _base_row(features, batch)
-    terms = [base]
+    parts = [base]
     for d in range(2, degree + 1):
-        for combo in combinations_with_replacement(range(base.size), d):
-            terms.append(np.array([np.prod(base[list(combo)])]))
-    return np.concatenate(terms + [np.ones(1)])
+        # One index-matrix allocation per degree level (two for the common
+        # degree-2 case) replaces one np.array per polynomial term; the
+        # remaining allocation is the loop's irreducible working set.
+        combos = np.array(  # repro-lint: disable=PERF002
+            list(combinations_with_replacement(range(base.size), d))
+        )
+        # Sequential column-by-column multiply reproduces np.prod's
+        # left-to-right pairwise order, so every term stays bit-identical
+        # to the scalar np.prod(base[list(combo)]) it replaces.
+        prod = base[combos[:, 0]]
+        for k in range(1, d):
+            prod = prod * base[combos[:, k]]
+        parts.append(prod)
+    parts.append(np.ones(1))
+    return np.concatenate(parts)
 
 
 class NeuralPowerModel:
@@ -52,12 +64,10 @@ class NeuralPowerModel:
         self.model = LinearModel(method=method)
 
     def _design(self, records: Sequence[TimingRecord]) -> np.ndarray:
-        return np.array(
-            [
-                polynomial_row(r.features, r.batch, self.degree)
-                for r in records
-            ]
-        )
+        X = np.empty((len(records), self.n_coefficients))
+        for i, r in enumerate(records):
+            X[i] = polynomial_row(r.features, r.batch, self.degree)
+        return X
 
     def fit(self, data: Dataset | Sequence[TimingRecord]) -> "NeuralPowerModel":
         records = list(data)

@@ -50,8 +50,9 @@ class PaleoModel:
         Records carry only aggregate F/I/O, so the per-layer decomposition
         collapses to totals — faithful to PALEO's additive structure.
         """
-        out = []
-        for r in records_of(data):
+        records = records_of(data)
+        out = np.empty(len(records))
+        for i, r in enumerate(records):
             flops = r.features.flops * r.batch
             nbytes = (
                 (r.features.inputs + r.features.outputs) * r.batch
@@ -59,8 +60,8 @@ class PaleoModel:
             ) * 4.0
             compute = flops / (self.device.peak_flops * self.percent_of_peak)
             io = nbytes / (self.device.mem_bandwidth * self.percent_of_peak)
-            out.append(compute + io)
-        return np.array(out)
+            out[i] = compute + io
+        return out
 
     def evaluate(self, data: Dataset | Sequence[TimingRecord]) -> EvalMetrics:
         records = records_of(data)

@@ -1,0 +1,182 @@
+"""Campaign throughput benchmark payload (``BENCH_campaign.json``).
+
+The perf-trajectory counterpart of ``BENCH_serve.json``: where the serve
+bench tracks request latency, this payload tracks how fast the campaign
+engine turns sweep points into records — points per second with the
+clean-time grid cache off (the pre-triage baseline) and on (the shipped
+default), the grid-cache hit rate that explains the difference, and the
+serve QPS so one artifact carries the whole perf trajectory of a release.
+
+Only wall-clock throughput comes from a real timer; the records a bench
+campaign produces are bit-identical between the two configurations (the
+grid cache memoises deterministic clean times, never the noise stream),
+which is what lets the comparison claim a pure speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Mapping
+
+#: Schema identifier stamped into every campaign bench payload.
+CAMPAIGN_BENCH_SCHEMA = "repro/campaign-bench/v1"
+
+
+def campaign_bench_payload(
+    *,
+    scenario: str,
+    device: str,
+    models: "tuple[str, ...] | list[str]",
+    n_points: int,
+    workers: int,
+    seed: int,
+    baseline_wall_seconds: float,
+    optimized_wall_seconds: float,
+    grid_cache_stats: Mapping[str, float],
+    serve_qps: float,
+    serve_queries: int,
+    serve_p50_ms: float,
+) -> dict[str, Any]:
+    """Assemble a ``BENCH_campaign.json`` document.
+
+    ``grid_cache_stats`` is a :meth:`repro.caching.CacheStats.to_dict`
+    mapping from the optimized run's ``CLEAN_TIME_CACHE`` delta; the
+    serve figures come from a :func:`repro.serve.bench.run_bench`
+    payload of the same session.
+    """
+    baseline_pps = (
+        n_points / baseline_wall_seconds if baseline_wall_seconds > 0 else 0.0
+    )
+    optimized_pps = (
+        n_points / optimized_wall_seconds
+        if optimized_wall_seconds > 0
+        else 0.0
+    )
+    return {
+        "schema": CAMPAIGN_BENCH_SCHEMA,
+        "config": {
+            "scenario": scenario,
+            "device": device,
+            "models": list(models),
+            "workers": workers,
+            "seed": seed,
+        },
+        "n_points": n_points,
+        "baseline": {
+            "wall_seconds": baseline_wall_seconds,
+            "points_per_second": baseline_pps,
+        },
+        "optimized": {
+            "wall_seconds": optimized_wall_seconds,
+            "points_per_second": optimized_pps,
+        },
+        "speedup": (
+            optimized_pps / baseline_pps if baseline_pps > 0 else 0.0
+        ),
+        "grid_cache": dict(grid_cache_stats),
+        "serve": {
+            "qps": serve_qps,
+            "queries": serve_queries,
+            "p50_ms": serve_p50_ms,
+        },
+    }
+
+
+def validate_campaign_bench_payload(payload: Any) -> list[str]:
+    """Schema check of a ``BENCH_campaign.json`` document.
+
+    Returns a list of problems (empty = valid).  Beyond key/type shape,
+    every rate and count is checked for sanity: NaN or negative
+    points-per-second, hit rates outside ``[0, 1]``, and non-positive
+    ``n_points``/``workers`` all reject the payload — a bench that
+    produces them measured nothing.
+    """
+    problems: list[str] = []
+
+    def need(obj: Any, key: str, kind: type | tuple, where: str) -> Any:
+        if not isinstance(obj, dict) or key not in obj:
+            problems.append(f"{where}: missing key {key!r}")
+            return None
+        value = obj[key]
+        if not isinstance(value, kind) or isinstance(value, bool):
+            problems.append(
+                f"{where}.{key}: expected {kind}, got {type(value).__name__}"
+            )
+            return None
+        return value
+
+    def need_rate(
+        obj: Any, key: str, where: str, upper: float | None = None
+    ) -> None:
+        value = need(obj, key, (int, float), where)
+        if value is None:
+            return
+        if math.isnan(value) or math.isinf(value):
+            problems.append(f"{where}.{key}: must be finite, got {value!r}")
+        elif value < 0:
+            problems.append(
+                f"{where}.{key}: must be non-negative, got {value!r}"
+            )
+        elif upper is not None and value > upper:
+            problems.append(
+                f"{where}.{key}: must be <= {upper}, got {value!r}"
+            )
+
+    if need(payload, "schema", str, "$") != CAMPAIGN_BENCH_SCHEMA:
+        problems.append(f"$.schema is not {CAMPAIGN_BENCH_SCHEMA!r}")
+    config = need(payload, "config", dict, "$")
+    if config is not None:
+        for key in ("scenario", "device"):
+            need(config, key, str, "$.config")
+        need(config, "models", list, "$.config")
+        need(config, "seed", int, "$.config")
+        workers = need(config, "workers", int, "$.config")
+        if workers is not None and workers < 1:
+            problems.append(
+                f"$.config.workers: must be >= 1, got {workers!r}"
+            )
+    n_points = need(payload, "n_points", int, "$")
+    if n_points is not None and n_points < 1:
+        problems.append(f"$.n_points: must be >= 1, got {n_points!r}")
+    for section in ("baseline", "optimized"):
+        block = need(payload, section, dict, "$")
+        if block is not None:
+            need_rate(block, "wall_seconds", f"$.{section}")
+            need_rate(block, "points_per_second", f"$.{section}")
+    need_rate(payload, "speedup", "$")
+    cache = need(payload, "grid_cache", dict, "$")
+    if cache is not None:
+        for key in ("hits", "misses", "evictions", "lookups"):
+            need_rate(cache, key, "$.grid_cache")
+        need_rate(cache, "hit_rate", "$.grid_cache", upper=1.0)
+    serve = need(payload, "serve", dict, "$")
+    if serve is not None:
+        need_rate(serve, "qps", "$.serve")
+        need_rate(serve, "p50_ms", "$.serve")
+        queries = need(serve, "queries", int, "$.serve")
+        if queries is not None and queries < 0:
+            problems.append(
+                f"$.serve.queries: must be >= 0, got {queries!r}"
+            )
+    return problems
+
+
+def write_campaign_bench(payload: dict[str, Any], path: str | Path) -> None:
+    """Persist a campaign bench payload (schema-validated first)."""
+    problems = validate_campaign_bench_payload(payload)
+    if problems:
+        raise ValueError(
+            "refusing to write an invalid campaign bench payload: "
+            + "; ".join(problems)
+        )
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+__all__ = [
+    "CAMPAIGN_BENCH_SCHEMA",
+    "campaign_bench_payload",
+    "validate_campaign_bench_payload",
+    "write_campaign_bench",
+]

@@ -468,21 +468,55 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1 if has_errors(diags) else 0
 
 
+#: Lint rule families, in report order: (domain label, rule-id prefix).
+_LINT_DOMAINS = (
+    ("determinism", "DET"),
+    ("concurrency", "CON"),
+    ("performance", "PERF"),
+    ("suppressions", "SUP"),
+)
+
+
+def _render_lint_statistics(diags) -> str:
+    """Per-domain, per-rule finding counts for ``lint --statistics``."""
+    from collections import Counter
+
+    counts = Counter(d.rule for d in diags)
+    lines = ["statistics:"]
+    for domain, prefix in _LINT_DOMAINS:
+        rules = sorted(r for r in counts if r.startswith(prefix))
+        total = sum(counts[r] for r in rules)
+        lines.append(f"  {domain} ({prefix}): {total}")
+        for rule in rules:
+            lines.append(f"    {rule}: {counts[rule]}")
+    return "\n".join(lines)
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.diagnostics import has_errors, render_json, render_text
     from repro.diagnostics import sort_diagnostics
     from repro.lint import lint_paths
 
     diags = []
+    # All domains scan the same path set; keep the largest count so a
+    # domain reporting fewer parseable files cannot shrink the summary.
     n_files = 0
     if args.domain in ("determinism", "all"):
-        det_diags, n_files = lint_paths(args.paths)
+        det_diags, n_det = lint_paths(args.paths)
         diags.extend(det_diags)
+        n_files = max(n_files, n_det)
     if args.domain in ("concurrency", "all"):
         from repro.analysis.concurrency import analyze_paths
 
-        con_diags, n_files = analyze_paths(args.paths, ignore=args.ignore)
+        con_diags, n_con = analyze_paths(args.paths, ignore=args.ignore)
         diags.extend(con_diags)
+        n_files = max(n_files, n_con)
+    if args.domain in ("performance", "all"):
+        from repro.analysis.perf import analyze_paths as analyze_perf
+
+        perf_diags, n_perf = analyze_perf(args.paths, ignore=args.ignore)
+        diags.extend(perf_diags)
+        n_files = max(n_files, n_perf)
     if args.ignore:
         unwanted = set(args.ignore)
         diags = [d for d in diags if d.rule not in unwanted]
@@ -494,6 +528,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(render_json(diags, n_files, "file"))
     else:
         print(render_text(diags, n_files, "file", quiet=args.quiet))
+    if args.statistics:
+        print(_render_lint_statistics(diags))
     return 1 if has_errors(diags) else 0
 
 
@@ -593,19 +629,24 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="lint code for determinism hazards (unseeded RNGs, "
-             "unbounded caches, wall-clock reads) or concurrency "
-             "hazards (lock discipline, thread-hostile APIs)",
+             "unbounded caches, wall-clock reads), concurrency "
+             "hazards (lock discipline, thread-hostile APIs), or "
+             "hot-path performance hazards (per-element loops over "
+             "vectorizable work)",
         epilog=_EXIT_CODES,
     )
     lint.add_argument("paths", nargs="*", default=["src/repro"],
                       help="files or directories to lint "
                            "(default: src/repro)")
     lint.add_argument("--domain",
-                      choices=("determinism", "concurrency", "all"),
+                      choices=("determinism", "concurrency",
+                               "performance", "all"),
                       default="determinism",
                       help="which rule family to run: determinism "
                            "(DET0xx, per-file), concurrency (CON0xx, "
-                           "whole-program lock/race analysis), or all")
+                           "whole-program lock/race analysis), "
+                           "performance (PERF0xx, hot-path "
+                           "vectorization/allocation analysis), or all")
     lint.add_argument("--format", choices=("text", "json"), default="text")
     lint.add_argument("--quiet", action="store_true",
                       help="print only the one-line summary")
@@ -613,6 +654,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="report only these rule ids (e.g. DET006)")
     lint.add_argument("--ignore", nargs="*", default=(), metavar="RULE",
                       help="rule ids to suppress (e.g. CON008)")
+    lint.add_argument("--statistics", action="store_true",
+                      help="append per-domain, per-rule finding counts "
+                           "after the report")
     lint.set_defaults(func=_cmd_lint)
 
     audit = sub.add_parser(

@@ -63,9 +63,10 @@ def forward_design(
     metric_names: Sequence[str] = FORWARD_FEATURES,
 ) -> np.ndarray:
     """Design matrix of Eq. 3 (rows = records)."""
-    return np.array(
-        [forward_row(r.features, r.batch, metric_names) for r in records]
-    )
+    X = np.empty((len(records), len(metric_names) + 1))
+    for i, r in enumerate(records):
+        X[i] = forward_row(r.features, r.batch, metric_names)
+    return X
 
 
 def grad_update_row(
@@ -84,9 +85,10 @@ def grad_update_design(
     records: Sequence[TimingRecord], multi_node: bool
 ) -> np.ndarray:
     """Design matrix of Eq. 4 for a homogeneous (single or multi) dataset."""
-    return np.array(
-        [grad_update_row(r.features, r.devices, multi_node) for r in records]
-    )
+    X = np.empty((len(records), 4 if multi_node else 2))
+    for i, r in enumerate(records):
+        X[i] = grad_update_row(r.features, r.devices, multi_node)
+    return X
 
 
 def combined_bwd_grad_row(

@@ -49,6 +49,21 @@ class ForwardModel:
         return float(self.model.predict(forward_row(features, batch,
                                                     self.metric_names))[0])
 
+    def predict_configs(
+        self, features: ConvNetFeatures, batches: Sequence[int]
+    ) -> np.ndarray:
+        """Batched :meth:`predict_one` over a batch-size sweep.
+
+        One design matrix, one predict call; element ``i`` is
+        bit-identical to ``predict_one(features, batches[i])`` because
+        :meth:`LinearModel.predict` accumulates columnwise in a
+        shape-invariant order.
+        """
+        X = np.empty((len(batches), len(self.metric_names) + 1))
+        for i, batch in enumerate(batches):
+            X[i] = forward_row(features, batch, self.metric_names)
+        return self.model.predict(X)
+
     def predict(self, data: Dataset | Sequence[TimingRecord]) -> np.ndarray:
         records = list(data)
         return self.model.predict(forward_design(records, self.metric_names))

@@ -45,12 +45,11 @@ def _warn_extrapolation(
     if factor is None or not configs:
         return
     violations = []
-    fwd_rows = np.array(
-        [
-            forward_row(features, b, model.forward.metric_names)
-            for b, _, _ in configs
-        ]
+    fwd_rows = np.empty(
+        (len(configs), len(model.forward.metric_names) + 1)
     )
+    for i, (b, _, _) in enumerate(configs):
+        fwd_rows[i] = forward_row(features, b, model.forward.metric_names)
     violations += model.forward.model.domain_violations(fwd_rows, factor)
     single = [
         model.bwd_grad._single_row(features, b)
@@ -114,26 +113,23 @@ def node_scaling_curve(
     domain_factor: float | None = DEFAULT_DOMAIN_FACTOR,
 ) -> list[ScalingPoint]:
     """Weak-scaling throughput prediction across node counts (Figure 8)."""
-    _warn_extrapolation(
-        model,
-        features,
-        [(per_device_batch, n * gpus_per_node, n) for n in node_counts],
-        domain_factor,
-    )
-    points = []
-    for nodes in node_counts:
-        devices = nodes * gpus_per_node
-        pred = model.predict_one(features, per_device_batch, devices, nodes)
-        points.append(
-            ScalingPoint(
-                x=nodes,
-                devices=devices,
-                per_device_batch=per_device_batch,
-                step_time=pred.total,
-                throughput=_throughput(pred.total, per_device_batch, devices),
-            )
+    configs = [
+        (per_device_batch, n * gpus_per_node, n) for n in node_counts
+    ]
+    _warn_extrapolation(model, features, configs, domain_factor)
+    totals = model.predict_configs(features, configs)
+    return [
+        ScalingPoint(
+            x=nodes,
+            devices=devices,
+            per_device_batch=batch,
+            step_time=step_time,
+            throughput=_throughput(step_time, batch, devices),
         )
-    return points
+        for (batch, devices, nodes), step_time in zip(
+            configs, totals.tolist()
+        )
+    ]
 
 
 def strong_scaling_curve(
@@ -156,19 +152,19 @@ def strong_scaling_curve(
             )
         configs.append((global_batch // devices, devices, nodes))
     _warn_extrapolation(model, features, configs, domain_factor)
-    points = []
-    for b, devices, nodes in configs:
-        pred = model.predict_one(features, b, devices, nodes)
-        points.append(
-            ScalingPoint(
-                x=nodes,
-                devices=devices,
-                per_device_batch=b,
-                step_time=pred.total,
-                throughput=_throughput(pred.total, b, devices),
-            )
+    totals = model.predict_configs(features, configs)
+    return [
+        ScalingPoint(
+            x=nodes,
+            devices=devices,
+            per_device_batch=batch,
+            step_time=step_time,
+            throughput=_throughput(step_time, batch, devices),
         )
-    return points
+        for (batch, devices, nodes), step_time in zip(
+            configs, totals.tolist()
+        )
+    ]
 
 
 def batch_scaling_curve(
@@ -186,22 +182,19 @@ def batch_scaling_curve(
     beyond ``domain_factor``× the fitted range raise an
     :class:`ExtrapolationWarning` (audit rule FIT004) but still predict.
     """
-    _warn_extrapolation(
-        model, features, [(b, devices, 1) for b in batch_sizes], domain_factor
-    )
-    points = []
-    for batch in batch_sizes:
-        pred = model.predict_one(features, batch, devices, nodes=1)
-        points.append(
-            ScalingPoint(
-                x=batch * devices,
-                devices=devices,
-                per_device_batch=batch,
-                step_time=pred.total,
-                throughput=_throughput(pred.total, batch, devices),
-            )
+    configs = [(b, devices, 1) for b in batch_sizes]
+    _warn_extrapolation(model, features, configs, domain_factor)
+    totals = model.predict_configs(features, configs)
+    return [
+        ScalingPoint(
+            x=batch * devices,
+            devices=devices,
+            per_device_batch=batch,
+            step_time=step_time,
+            throughput=_throughput(step_time, batch, devices),
         )
-    return points
+        for (batch, _, _), step_time in zip(configs, totals.tolist())
+    ]
 
 
 def turning_point(

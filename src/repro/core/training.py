@@ -163,6 +163,43 @@ class CombinedBwdGradModel:
         row = self._single_row(features, batch)
         return float(self.single.predict(row)[0])
 
+    def predict_configs(
+        self,
+        features: ConvNetFeatures,
+        configs: Sequence[tuple[int, int, int]],
+    ) -> np.ndarray:
+        """Batched :meth:`predict_one` over ``(batch, devices, nodes)``
+        sweep configurations.
+
+        Partitions the sweep into the single-node and multi-node
+        regimes, builds one preallocated design matrix per regime and
+        predicts each with a single call; element ``i`` is bit-identical
+        to ``predict_one(features, *configs[i])``.
+        """
+        out = np.empty(len(configs), dtype=np.float64)
+        single = [i for i, (_, _, n) in enumerate(configs) if n == 1]
+        multi = [i for i, (_, _, n) in enumerate(configs) if n > 1]
+        if multi:
+            if not self.multi.is_fitted:
+                raise RuntimeError(
+                    "no multi-node records were available at fit time"
+                )
+            X = np.empty((len(multi), len(self.MULTI_FEATURES)))
+            for j, i in enumerate(multi):
+                batch, devices, _ = configs[i]
+                X[j] = combined_bwd_grad_row(features, batch, devices)
+            out[multi] = self.multi.predict(X)
+        if single:
+            if not self.single.is_fitted:
+                raise RuntimeError(
+                    "no single-node records were available at fit time"
+                )
+            X = np.empty((len(single), len(self.SINGLE_FEATURES)))
+            for j, i in enumerate(single):
+                X[j] = self._single_row(features, configs[i][0])
+            out[single] = self.single.predict(X)
+        return out
+
     def predict(self, data: Dataset | Sequence[TimingRecord]) -> np.ndarray:
         records = list(data)
         return np.array(
@@ -225,6 +262,20 @@ class TrainingStepModel:
                 features, batch, devices, nodes
             ),
         )
+
+    def predict_configs(
+        self,
+        features: ConvNetFeatures,
+        configs: Sequence[tuple[int, int, int]],
+    ) -> np.ndarray:
+        """Batched step-time totals over ``(batch, devices, nodes)``
+        configurations; element ``i`` is bit-identical to
+        ``predict_one(features, *configs[i]).total`` (elementwise float64
+        addition of the same two doubles)."""
+        fwd = self.forward.predict_configs(
+            features, [batch for batch, _, _ in configs]
+        )
+        return fwd + self.bwd_grad.predict_configs(features, configs)
 
     def predict(self, data: Dataset | Sequence[TimingRecord]) -> np.ndarray:
         records = list(data)

@@ -12,6 +12,7 @@ a standalone graph so the same performance model applies unchanged.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -41,6 +42,7 @@ class ComputeGraph:
         self.name = name
         self._nodes: dict[str, Node] = {}
         self._order: list[str] = []
+        self._fingerprint: str | None = None
 
     # -- construction ------------------------------------------------------
 
@@ -55,6 +57,38 @@ class ComputeGraph:
                 )
         self._nodes[node.name] = node
         self._order.append(node.name)
+        self._fingerprint = None
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the graph: name, node order, layer
+        configurations, wiring, shapes, and block scopes.
+
+        Two graphs with equal fingerprints are structurally identical, so
+        a deterministic pass pipeline rewrites them identically — the
+        cache key :data:`repro.graph.passes.PIPELINE_CACHE` relies on.
+        Layer configurations enter through their dataclass ``repr``, which
+        covers every cost-relevant field.  Cached until the next
+        :meth:`add_node`.
+        """
+        if self._fingerprint is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(self.name.encode())
+            for name in self._order:
+                node = self._nodes[name]
+                h.update(
+                    "\x1f".join(
+                        (
+                            node.name,
+                            repr(node.layer),
+                            "\x1e".join(node.inputs),
+                            repr(node.output_shape),
+                            node.block,
+                        )
+                    ).encode()
+                )
+                h.update(b"\x00")
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     # -- queries -----------------------------------------------------------
 

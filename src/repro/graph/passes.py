@@ -34,6 +34,7 @@ import json
 from dataclasses import dataclass
 from typing import ClassVar, Iterable, Protocol, Sequence, runtime_checkable
 
+from repro.caching import LRUCache
 from repro.graph.graph import ComputeGraph, Node
 from repro.graph.layers import (
     Activation,
@@ -388,7 +389,21 @@ class PassPipeline:
             raise ValueError("a PassPipeline needs at least one pass")
 
     def run(self, graph: ComputeGraph) -> PipelineResult:
-        """Apply every pass in order, threading provenance through."""
+        """Apply every pass in order, threading provenance through.
+
+        Memoised in :data:`PIPELINE_CACHE` under the graph and pipeline
+        content fingerprints: passes are pure and deterministic, so equal
+        fingerprints guarantee an identical result, and the shape
+        inference inside each rewrite runs once per distinct
+        ``(graph, pipeline)`` pair instead of once per caller.  The cached
+        :class:`PipelineResult` (graph included) is shared — callers must
+        not mutate it, which the no-mutation pass contract already
+        demands.
+        """
+        key = (graph.fingerprint(), self.fingerprint())
+        return PIPELINE_CACHE.get_or_compute(key, lambda: self._run(graph))
+
+    def _run(self, graph: ComputeGraph) -> PipelineResult:
         origin: dict[str, tuple[str, ...]] = {
             node.name: (node.name,) for node in graph
         }
@@ -412,13 +427,28 @@ class PassPipeline:
         Two pipelines that would rewrite any graph identically share a
         fingerprint; reordering, adding, or reconfiguring passes changes
         it.  Used as the cache-key component that separates fused from raw
-        profiles.
+        profiles.  Computed once per pipeline instance: the dataclass is
+        frozen, so the signature blob can never change after construction.
         """
-        blob = json.dumps(
-            [p.signature() for p in self.passes], sort_keys=True
-        ).encode()
-        return hashlib.blake2b(blob, digest_size=8).hexdigest()
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            blob = json.dumps(
+                [p.signature() for p in self.passes], sort_keys=True
+            ).encode()
+            cached = hashlib.blake2b(blob, digest_size=8).hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
+
+#: Bounded memo of :meth:`PassPipeline.run` results, keyed by
+#: ``(graph fingerprint, pipeline fingerprint)``.  One campaign (or a serve
+#: process answering fused queries) transforms each distinct graph exactly
+#: once; every later profile, verification, or what-if pass over the same
+#: graph reuses the rewritten result instead of re-running shape inference
+#: through the whole pipeline.
+PIPELINE_CACHE: LRUCache[tuple[str, str], PipelineResult] = LRUCache(
+    maxsize=256
+)
 
 #: Constructors of every registered pass, keyed by registry name — the
 #: vocabulary of ``repro transform --passes`` and of
@@ -462,6 +492,16 @@ def default_inference_pipeline() -> PassPipeline:
     return build_pipeline(DEFAULT_INFERENCE_PASSES, name="inference")
 
 
+#: Memo of :func:`resolve_transform`: transform strings form a tiny, fixed
+#: vocabulary, and resolving one in a hot loop should cost a lookup, not a
+#: pipeline construction.  An LRUCache (not a bare dict) because serve
+#: threads resolve transforms concurrently.  Safe because pipelines are
+#: frozen and every resolution of the same string is interchangeable.
+_RESOLVED_TRANSFORMS: LRUCache[str, "PassPipeline | None"] = LRUCache(
+    maxsize=64
+)
+
+
 def resolve_transform(spec: str) -> PassPipeline | None:
     """Resolve a campaign/CLI transform string into a pipeline.
 
@@ -469,13 +509,21 @@ def resolve_transform(spec: str) -> PassPipeline | None:
     fusion pipeline; anything else is a comma-separated list of registered
     pass names.  The string form is what
     :class:`~repro.benchdata.engine.CampaignSpec` carries, keeping specs
-    JSON-serialisable and worker-picklable.
+    JSON-serialisable and worker-picklable.  Results are memoised per
+    string, and repeated calls return the same pipeline instance — which
+    also keeps its cached fingerprint warm.
     """
-    if not spec:
-        return None
-    if spec == "inference":
-        return default_inference_pipeline()
-    return build_pipeline([s.strip() for s in spec.split(",") if s.strip()])
+
+    def build() -> PassPipeline | None:
+        if not spec:
+            return None
+        if spec == "inference":
+            return default_inference_pipeline()
+        return build_pipeline(
+            [s.strip() for s in spec.split(",") if s.strip()]
+        )
+
+    return _RESOLVED_TRANSFORMS.get_or_compute(spec, build)
 
 
 __all__ = [
@@ -490,6 +538,7 @@ __all__ = [
     "EliminateDeadLayers",
     "PassPipeline",
     "PASS_REGISTRY",
+    "PIPELINE_CACHE",
     "DEFAULT_INFERENCE_PASSES",
     "build_pipeline",
     "default_inference_pipeline",

@@ -116,6 +116,47 @@ class SimulatedExecutor:
         )
         return launch + stream + self.device.base_overhead
 
+    def clean_time_grids(
+        self,
+        profile: CostProfile,
+        batches: "tuple[int, ...] | list[int]",
+        training: bool = False,
+    ) -> dict[int, tuple[float, ...]]:
+        """Clean-time components for a whole batch sweep, in one shot.
+
+        Returns ``{batch: (forward,)}`` — or, with ``training=True``,
+        ``{batch: (forward, backward, grad_update)}`` — computed from a
+        single batched :func:`layer_times` evaluation per phase instead of
+        one per batch size.  Each component is bit-identical to the
+        corresponding ``*_time_clean`` call at that batch: the batch axis
+        only broadcasts, the per-layer sums reduce in the same order, and
+        the base overhead adds as the same float64 pair.
+        """
+        b = np.asarray(batches)
+        fwd = (
+            layer_times(profile, b, self.device).sum(axis=1)
+            + self.device.base_overhead
+        ).tolist()
+        if not training:
+            return {int(n): (t,) for n, t in zip(batches, fwd)}
+        flops_factor = np.where(
+            profile.has_params, _BWD_FLOPS_PARAM, _BWD_FLOPS_OTHER
+        )
+        bwd = (
+            layer_times(
+                profile,
+                b,
+                self.device,
+                flops_factor=flops_factor,
+                bytes_factor=_BWD_BYTES_FACTOR,
+            ).sum(axis=1)
+            + self.device.base_overhead
+        ).tolist()
+        grad = self.grad_update_time_clean(profile)
+        return {
+            int(n): (f, w, grad) for n, f, w in zip(batches, fwd, bwd)
+        }
+
     def layer_breakdown(
         self, profile: CostProfile, batch: int
     ) -> np.ndarray:
@@ -195,8 +236,14 @@ class SimulatedExecutor:
         enforce_memory: bool = True,
         tracer: "Tracer | None" = None,
         inference_mode: bool = False,
+        clean_time: float | None = None,
     ) -> float:
         """One noisy inference measurement, seconds.
+
+        ``clean_time`` short-circuits the deterministic component with a
+        precomputed :meth:`forward_time_clean` value (the campaign engine
+        supplies it from a per-model grid cache); the caller is
+        responsible for it matching ``(profile, batch)``.
 
         With a ``tracer``, emits a ``forward`` phase span whose per-layer
         children sum exactly to the returned time; the measurement itself
@@ -214,7 +261,11 @@ class SimulatedExecutor:
         profile = self._as_profile(graph_or_profile, inference_mode)
         if enforce_memory:
             check_fits(profile, batch, self.device, training=False)
-        clean = self.forward_time_clean(profile, batch)
+        clean = (
+            self.forward_time_clean(profile, batch)
+            if clean_time is None
+            else clean_time
+        )
         noise = self._noise(profile.graph_name, batch, "inference", rep)
         total = clean * noise
         if tracer is not None and tracer.enabled:
@@ -228,24 +279,34 @@ class SimulatedExecutor:
         rep: int = 0,
         enforce_memory: bool = True,
         tracer: "Tracer | None" = None,
+        clean_times: "tuple[float, float, float] | None" = None,
     ) -> PhaseTimes:
         """One noisy single-device training-step measurement.
 
         With a ``tracer``, emits ``forward`` / ``backward`` / ``grad_update``
         phase spans (backward layers in reverse topological order); each
         phase's children sum exactly to the corresponding returned time.
+
+        ``clean_times`` short-circuits the deterministic
+        ``(forward, backward, grad_update)`` components with precomputed
+        values from :meth:`clean_time_grids`; the noise stream is
+        untouched either way.
         """
         profile = self._as_profile(graph_or_profile)
         if enforce_memory:
             check_fits(profile, batch, self.device, training=True)
+        if clean_times is None:
+            clean_times = (
+                self.forward_time_clean(profile, batch),
+                self.backward_time_clean(profile, batch),
+                self.grad_update_time_clean(profile),
+            )
         name = profile.graph_name
         fwd_noise = self._noise(name, batch, "fwd", rep)
-        fwd = self.forward_time_clean(profile, batch) * fwd_noise
+        fwd = clean_times[0] * fwd_noise
         bwd_noise = self._noise(name, batch, "bwd", rep)
-        bwd = self.backward_time_clean(profile, batch) * bwd_noise
-        grad = self.grad_update_time_clean(profile) * self._noise(
-            name, batch, "grad", rep
-        )
+        bwd = clean_times[1] * bwd_noise
+        grad = clean_times[2] * self._noise(name, batch, "grad", rep)
         if tracer is not None and tracer.enabled:
             self._trace_phase(
                 tracer, "forward", profile, batch, fwd_noise, fwd

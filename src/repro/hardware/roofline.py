@@ -189,7 +189,7 @@ def profile_graph(
 
 def layer_times(
     profile: CostProfile,
-    batch: int,
+    batch: int | np.ndarray,
     device: DeviceSpec,
     flops_factor: float = 1.0,
     bytes_factor: float = 1.0,
@@ -198,12 +198,27 @@ def layer_times(
 
     ``flops_factor``/``bytes_factor`` scale the per-layer work — the backward
     pass reuses the same profile with roughly doubled factors.
+
+    ``batch`` may also be an integer array of shape ``(B,)``: the result is
+    then ``float64[B, L]``, and row ``i`` is bit-identical to the scalar
+    call at ``batch[i]`` — the batch axis enters only as a broadcast
+    leading dimension, every per-layer expression keeps the same operand
+    order and dtype as the scalar path.
     """
-    if batch < 1:
-        raise ValueError(f"batch must be >= 1, got {batch}")
-    flops = profile.flops * (batch * flops_factor)
+    b = np.asarray(batch)
+    if b.ndim:
+        if np.any(b < 1):
+            raise ValueError(
+                f"batch must be >= 1, got {int(b.min())}"
+            )
+        scale = b[:, None]
+    else:
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        scale = batch
+    flops = profile.flops * (scale * flops_factor)
     nbytes = (
-        profile.act_bytes * (batch * bytes_factor) + profile.weight_bytes
+        profile.act_bytes * (scale * bytes_factor) + profile.weight_bytes
     )
     eff_c = _COMPUTE_EFF[device.kind][profile.eff_class]
     eff_b = _BANDWIDTH_EFF[device.kind][profile.eff_class]

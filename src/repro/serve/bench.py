@@ -243,11 +243,26 @@ def bench_registry(
 
 
 def validate_bench_payload(payload: Any) -> list[str]:
-    """Schema check of a ``BENCH_serve.json`` document.
+    """Schema check of a bench document, dispatched on ``$.schema``.
 
-    Returns a list of problems (empty = valid) so CI and tests share one
-    validator instead of duplicating key lists.
+    Validates ``BENCH_serve.json`` (``repro/serve-bench/v1``) directly
+    and delegates ``BENCH_campaign.json`` (``repro/campaign-bench/v1``)
+    to :func:`repro.benchdata.bench.validate_campaign_bench_payload`,
+    so CI and tests share one entry point for every bench artifact
+    instead of duplicating key lists.
+
+    Returns a list of problems (empty = valid).
     """
+    from repro.benchdata.bench import (
+        CAMPAIGN_BENCH_SCHEMA,
+        validate_campaign_bench_payload,
+    )
+
+    if (
+        isinstance(payload, dict)
+        and payload.get("schema") == CAMPAIGN_BENCH_SCHEMA
+    ):
+        return validate_campaign_bench_payload(payload)
     problems: list[str] = []
 
     def need(obj: Any, key: str, kind: type | tuple, where: str) -> Any:

@@ -199,7 +199,12 @@ class ModelRegistry:
         fresh_failures: dict[str, str] = {}
         unchanged: set[str] = set()
         for name, (path, device) in declared.items():
-            try:
+            # Per-artifact try blocks are the registry's failure-isolation
+            # contract: one unreadable or corrupt artifact must not take
+            # the rest of the manifest down, and each failure message must
+            # name its artifact.  The loop is bounded by the manifest size
+            # (a handful of models), not by request volume.
+            try:  # repro-lint: disable=PERF008
                 stat = path.stat()
             except OSError as exc:
                 fresh_failures[name] = (
@@ -209,7 +214,7 @@ class ModelRegistry:
             if current.get(name) == (path, stat.st_mtime_ns, stat.st_size):
                 unchanged.add(name)
                 continue
-            try:
+            try:  # repro-lint: disable=PERF008
                 loaded[name] = _load_artifact(name, path, device)
             except RegistryError as exc:
                 fresh_failures[name] = str(exc)

@@ -1,0 +1,1042 @@
+"""Hot-path performance analyzer: every PERF rule firing, staying silent,
+and suppressible; hot-root propagation over the call graph; the CLI
+contract (``--domain performance``, ``--statistics``); the repository
+gate (`src/repro` must be clean); and byte-identity assertions for every
+triage fix the analyzer drove."""
+
+import json
+import textwrap
+from itertools import combinations_with_replacement
+
+import numpy as np
+import pytest
+
+from repro.analysis.perf import (
+    PERF_RULES,
+    analyze_paths,
+    analyze_source,
+    analyze_sources,
+)
+from repro.cli import main
+from repro.diagnostics import Severity
+
+
+def rules_of(source: str, **kwargs) -> list[str]:
+    return [
+        d.rule
+        for d in analyze_source(textwrap.dedent(source), **kwargs)
+    ]
+
+
+def diags_of(source: str):
+    return analyze_source(textwrap.dedent(source))
+
+
+class TestParseErrorsPERF000:
+    def test_syntax_error_fires(self):
+        assert rules_of("def broken(:\n    pass\n") == ["PERF000"]
+
+    def test_valid_module_is_silent(self):
+        assert rules_of("x = 1\n") == []
+
+    def test_missing_path_reported_not_raised(self, tmp_path):
+        diags, n_files = analyze_paths([tmp_path / "absent.py"])
+        assert [d.rule for d in diags] == ["PERF000"]
+        assert n_files == 0
+
+
+class TestScalarLoopsPERF001:
+    def test_iterating_array_fires(self):
+        assert "PERF001" in rules_of(
+            """
+            import numpy as np
+
+            def predict_one(X: np.ndarray):
+                total = 0.0
+                for x in X:
+                    total = total + float(x)
+                return total
+            """
+        )
+
+    def test_range_over_array_extent_fires(self):
+        assert "PERF001" in rules_of(
+            """
+            import numpy as np
+
+            def predict_one(X: np.ndarray):
+                total = 0.0
+                for i in range(len(X)):
+                    total += X[i]
+                return total
+            """
+        )
+
+    def test_enumerate_over_array_fires(self):
+        assert "PERF001" in rules_of(
+            """
+            import numpy as np
+
+            def predict_one(X: np.ndarray):
+                total = 0.0
+                for i, x in enumerate(X):
+                    total += float(x)
+                return total
+            """
+        )
+
+    def test_indexing_by_loop_target_fires(self):
+        assert "PERF001" in rules_of(
+            """
+            import numpy as np
+
+            def predict_one(X: np.ndarray, items):
+                total = 0.0
+                for i in items:
+                    total += X[i]
+                return total
+            """
+        )
+
+    def test_slice_access_is_silent(self):
+        assert rules_of(
+            """
+            import numpy as np
+
+            def predict_one(X: np.ndarray, items):
+                out = []
+                for i in items:
+                    out.append(X[i:].sum())
+                return out
+            """
+        ) == []
+
+    def test_vectorized_gather_is_silent(self):
+        # base[combos[:, k]] reads a whole column per iteration — a
+        # vectorized gather, not per-element access (the neuralpower
+        # polynomial_row shape).
+        assert rules_of(
+            """
+            import numpy as np
+
+            def predict_one(base: np.ndarray, combos: np.ndarray):
+                prod = base[combos[:, 0]]
+                for k in range(1, 4):
+                    prod = prod * base[combos[:, k]]
+                return prod
+            """
+        ) == []
+
+    def test_self_referential_rebind_keeps_array_typing(self):
+        # X = X[None, :] rebinds X to a view of itself; the analyzer must
+        # classify the right-hand side under the OLD binding, or X loses
+        # array typing and the loop below goes unflagged (the
+        # regression.py LinearModel.predict shape).
+        assert "PERF001" in rules_of(
+            """
+            import numpy as np
+
+            def predict(X: np.ndarray, coef: np.ndarray):
+                if X.ndim == 1:
+                    X = X[None, :]
+                total = X[:, 0] * coef[0]
+                for column in range(1, X.shape[1]):
+                    total = total + X[:, column] * coef[column]
+                return total
+            """
+        )
+
+    def test_cold_function_is_silent(self):
+        assert rules_of(
+            """
+            import numpy as np
+
+            def offline_report(X: np.ndarray):
+                total = 0.0
+                for x in X:
+                    total = total + float(x)
+                return total
+            """
+        ) == []
+
+    def test_suppression_comment_works(self):
+        assert rules_of(
+            """
+            import numpy as np
+
+            def predict_one(X: np.ndarray):
+                total = 0.0
+                for x in X:  # repro-lint: disable=PERF001
+                    total = total + float(x)
+                return total
+            """
+        ) == []
+
+
+class TestLoopAllocationPERF002:
+    def test_allocation_in_loop_fires(self):
+        assert "PERF002" in rules_of(
+            """
+            import numpy as np
+
+            def predict_one(items):
+                out = []
+                for item in items:
+                    out.append(np.zeros(3))
+                return out
+            """
+        )
+
+    def test_allocation_outside_loop_is_silent(self):
+        assert rules_of(
+            """
+            import numpy as np
+
+            def predict_one(items):
+                buffer = np.zeros(len(items))
+                for i, item in enumerate(items):
+                    buffer[i] = item
+                return buffer
+            """
+        ) == []
+
+    def test_allocation_in_raise_is_silent(self):
+        # A raise exits the loop; its f-string/array work runs at most
+        # once per call.
+        assert rules_of(
+            """
+            import numpy as np
+
+            def predict_one(items):
+                total = 0.0
+                for item in items:
+                    if item < 0:
+                        raise ValueError(np.array([item]))
+                    total += item
+                return total
+            """
+        ) == []
+
+    def test_suppression_comment_works(self):
+        assert rules_of(
+            """
+            import numpy as np
+
+            def predict_one(items):
+                out = []
+                for item in items:
+                    out.append(np.zeros(3))  # repro-lint: disable=PERF002
+                return out
+            """
+        ) == []
+
+
+class TestInvariantCallPERF003:
+    def test_invariant_builtin_fires(self):
+        assert "PERF003" in rules_of(
+            """
+            def predict_one(xs, items):
+                out = []
+                for item in items:
+                    out.append(sorted(xs)[0] + item)
+                return out
+            """
+        )
+
+    def test_invariant_pure_method_fires(self):
+        assert "PERF003" in rules_of(
+            """
+            def predict_one(graph, items):
+                out = []
+                for item in items:
+                    out.append((graph.fingerprint(), item))
+                return out
+            """
+        )
+
+    def test_variant_arguments_are_silent(self):
+        assert rules_of(
+            """
+            def predict_one(items):
+                out = []
+                for item in items:
+                    out.append(sorted(item))
+                return out
+            """
+        ) == []
+
+    def test_suppression_comment_works(self):
+        assert rules_of(
+            """
+            def predict_one(xs, items):
+                out = []
+                for item in items:
+                    out.append(sorted(xs)[0] + item)  # repro-lint: disable=PERF003
+                return out
+            """
+        ) == []
+
+
+class TestListThenArrayPERF004:
+    def test_stack_over_row_comprehension_fires(self):
+        assert "PERF004" in rules_of(
+            """
+            import numpy as np
+
+            def make_row(x: int) -> np.ndarray:
+                return np.zeros(3)
+
+            def predict_one(xs):
+                return np.array([make_row(x) for x in xs])
+            """
+        )
+
+    def test_append_then_array_fires(self):
+        assert "PERF004" in rules_of(
+            """
+            import numpy as np
+
+            def predict_one(xs):
+                rows = []
+                for x in xs:
+                    rows.append(x * 2.0)
+                return np.array(rows)
+            """
+        )
+
+    def test_preallocated_fill_is_silent(self):
+        assert rules_of(
+            """
+            import numpy as np
+
+            def predict_one(xs):
+                out = np.empty(len(xs))
+                for i, x in enumerate(xs):
+                    out[i] = x * 2.0
+                return out
+            """
+        ) == []
+
+    def test_suppression_comment_works(self):
+        assert rules_of(
+            """
+            import numpy as np
+
+            def make_row(x: int) -> np.ndarray:
+                return np.zeros(3)
+
+            def predict_one(xs):
+                return np.array(  # repro-lint: disable=PERF004
+                    [make_row(x) for x in xs]
+                )
+            """
+        ) == []
+
+
+class TestInvariantKeyPERF005:
+    FIXTURE = """
+        def predict_one(table, items):
+            out = []
+            for item in items:
+                out.append(table["alexnet"] + item)
+                out.append(table["alexnet"] - item)
+            return out
+        """
+
+    def test_invariant_key_fires_once(self):
+        assert rules_of(self.FIXTURE) == ["PERF005"]
+
+    def test_loop_dependent_key_is_silent(self):
+        assert rules_of(
+            """
+            def predict_one(table, items):
+                out = []
+                for item in items:
+                    out.append(table[item])
+                return out
+            """
+        ) == []
+
+    def test_suppression_comment_works(self):
+        assert rules_of(
+            """
+            def predict_one(table, items):
+                out = []
+                for item in items:
+                    out.append(table["alexnet"] + item)  # repro-lint: disable=PERF005
+                return out
+            """
+        ) == []
+
+
+class TestUnbatchedSweepPERF006:
+    def test_per_point_predict_fires(self):
+        diags = diags_of(
+            """
+            def run_campaign(model, features, batches):
+                out = []
+                for b in batches:
+                    out.append(model.predict_one(features, b))
+                return out
+            """
+        )
+        assert [d.rule for d in diags] == ["PERF006"]
+        assert "predict_configs" in diags[0].hint
+
+    def test_call_outside_loop_is_silent(self):
+        assert rules_of(
+            """
+            def run_campaign(model, features, batch):
+                return model.predict_one(features, batch)
+            """
+        ) == []
+
+    def test_suppression_comment_works(self):
+        assert rules_of(
+            """
+            def run_campaign(model, features, batches):
+                out = []
+                for b in batches:
+                    out.append(model.predict_one(features, b))  # repro-lint: disable=PERF006
+                return out
+            """
+        ) == []
+
+
+class TestQuadraticGrowthPERF007:
+    def test_str_augassign_fires(self):
+        assert "PERF007" in rules_of(
+            """
+            def predict_one(items):
+                report = ""
+                for item in items:
+                    report += "x"
+                return report
+            """
+        )
+
+    def test_np_append_reassign_fires_without_perf002_dup(self):
+        assert rules_of(
+            """
+            import numpy as np
+
+            def predict_one(xs):
+                acc = np.zeros(0)
+                for x in xs:
+                    acc = np.append(acc, x)
+                return acc
+            """
+        ) == ["PERF007"]
+
+    def test_list_rebind_concat_fires(self):
+        assert "PERF007" in rules_of(
+            """
+            def predict_one(xs):
+                acc = []
+                for x in xs:
+                    acc = acc + [x]
+                return acc
+            """
+        )
+
+    def test_list_append_is_silent(self):
+        assert rules_of(
+            """
+            def predict_one(xs):
+                acc = []
+                for x in xs:
+                    acc.append(x)
+                return acc
+            """
+        ) == []
+
+    def test_suppression_comment_works(self):
+        assert rules_of(
+            """
+            def predict_one(items):
+                report = ""
+                for item in items:
+                    report += "x"  # repro-lint: disable=PERF007
+                return report
+            """
+        ) == []
+
+
+class TestLoopOverheadPERF008:
+    def test_try_per_iteration_fires(self):
+        assert "PERF008" in rules_of(
+            """
+            def predict_one(items):
+                out = []
+                for item in items:
+                    try:
+                        out.append(1.0 / item)
+                    except ZeroDivisionError:
+                        out.append(0.0)
+                return out
+            """
+        )
+
+    def test_try_wrapping_nested_loop_is_silent(self):
+        assert rules_of(
+            """
+            def predict_one(groups):
+                out = []
+                for group in groups:
+                    try:
+                        for item in group:
+                            out.append(item)
+                    except TypeError:
+                        pass
+                return out
+            """
+        ) == []
+
+    def test_logger_call_in_loop_fires(self):
+        assert "PERF008" in rules_of(
+            """
+            import logging
+
+            LOG = logging.getLogger(__name__)
+
+            def predict_one(items):
+                out = []
+                for item in items:
+                    LOG.info("measuring %s", item)
+                    out.append(item)
+                return out
+            """
+        )
+
+    def test_print_in_loop_fires(self):
+        assert "PERF008" in rules_of(
+            """
+            def predict_one(items):
+                out = []
+                for item in items:
+                    print(item)
+                    out.append(item)
+                return out
+            """
+        )
+
+    def test_suppression_comment_works(self):
+        assert rules_of(
+            """
+            def predict_one(items):
+                out = []
+                for item in items:
+                    try:  # repro-lint: disable=PERF008
+                        out.append(1.0 / item)
+                    except ZeroDivisionError:
+                        out.append(0.0)
+                return out
+            """
+        ) == []
+
+
+class TestHotRootPropagation:
+    def test_helper_called_from_named_root_is_hot(self):
+        diags = diags_of(
+            """
+            import numpy as np
+
+            def _helper(X: np.ndarray):
+                total = 0.0
+                for i in range(len(X)):
+                    total += X[i]
+                return total
+
+            def run_campaign(X: np.ndarray):
+                return _helper(X)
+            """
+        )
+        assert [d.rule for d in diags] == ["PERF001"]
+        assert "campaign sweep driver" in diags[0].message
+
+    def test_same_body_without_hot_caller_is_silent(self):
+        assert rules_of(
+            """
+            import numpy as np
+
+            def _helper(X: np.ndarray):
+                total = 0.0
+                for i in range(len(X)):
+                    total += X[i]
+                return total
+
+            def offline(X: np.ndarray):
+                return _helper(X)
+            """
+        ) == []
+
+    def test_explicit_marker_makes_function_hot(self):
+        diags = diags_of(
+            """
+            import numpy as np
+
+            # repro-perf: hot
+            def crunch(X: np.ndarray):
+                total = 0.0
+                for i in range(len(X)):
+                    total += X[i]
+                return total
+            """
+        )
+        assert [d.rule for d in diags] == ["PERF001"]
+        assert "explicit hot marker" in diags[0].message
+
+    def test_pipeline_run_method_is_hot(self):
+        diags = diags_of(
+            """
+            import numpy as np
+
+            class FusePipeline:
+                def run(self, X: np.ndarray):
+                    label = ""
+                    for x in X:
+                        label += "x"
+                    return label
+            """
+        )
+        assert {d.rule for d in diags} == {"PERF001", "PERF007"}
+        assert all(
+            "pass-pipeline execution (FusePipeline.run)" in d.message
+            for d in diags
+        )
+
+    def test_request_handler_methods_are_hot(self):
+        diags = diags_of(
+            """
+            import numpy as np
+            from http.server import BaseHTTPRequestHandler
+
+            class Handler(BaseHTTPRequestHandler):
+                def do_POST(self):
+                    rows = []
+                    for item in range(8):
+                        rows.append(np.zeros(3))
+                    return rows
+            """
+        )
+        assert [d.rule for d in diags] == ["PERF002"]
+        assert "request-handler method (Handler.do_POST)" in diags[0].message
+
+    def test_hotness_crosses_modules(self):
+        diags = analyze_sources([
+            (
+                "a.py",
+                textwrap.dedent(
+                    """
+                    from b import crunch
+
+                    def run_campaign(X):
+                        return crunch(X)
+                    """
+                ),
+            ),
+            (
+                "b.py",
+                textwrap.dedent(
+                    """
+                    import numpy as np
+
+                    def crunch(X: np.ndarray):
+                        total = 0.0
+                        for i in range(len(X)):
+                            total += X[i]
+                        return total
+                    """
+                ),
+            ),
+        ])
+        assert [d.rule for d in diags] == ["PERF001"]
+        assert diags[0].location.startswith("b.py:")
+
+
+class TestStaleSuppressions:
+    def test_stale_perf_suppression_reported(self):
+        diags = diags_of(
+            """
+            def offline():
+                x = 1  # repro-lint: disable=PERF002
+                return x
+            """
+        )
+        assert [d.rule for d in diags] == ["SUP001"]
+        assert "PERF002" in diags[0].message
+
+    def test_other_domains_not_judged_here(self):
+        assert rules_of(
+            """
+            def offline():
+                x = 1  # repro-lint: disable=DET001
+                return x
+            """
+        ) == []
+
+
+class TestRuleCatalogue:
+    def test_all_eight_rules_plus_parse_registered(self):
+        assert [r.rule for r in PERF_RULES] == [
+            f"PERF00{i}" for i in range(9)
+        ]
+
+    def test_severities_match_docs(self):
+        by_rule = {r.rule: r.severity for r in PERF_RULES}
+        assert {
+            rule
+            for rule, sev in by_rule.items()
+            if sev is Severity.ERROR
+        } == {"PERF000", "PERF001", "PERF002", "PERF004", "PERF007"}
+        assert {
+            rule
+            for rule, sev in by_rule.items()
+            if sev is Severity.WARN
+        } == {"PERF003", "PERF005", "PERF006", "PERF008"}
+
+
+class TestRepositoryIsClean:
+    def test_src_repro_gates_clean(self):
+        diags, n_files = analyze_paths(["src/repro"])
+        assert n_files > 0
+        rendered = [d.render() for d in diags]
+        assert rendered == []
+
+    def test_every_perf_suppression_in_repo_is_used(self):
+        # Covered by the gate above (stale ones surface as SUP001), but
+        # assert it separately so a SUP001 regression names itself.
+        diags, _ = analyze_paths(["src/repro"])
+        assert [d for d in diags if d.rule == "SUP001"] == []
+
+
+class TestCliContract:
+    def _hot_loop_file(self, tmp_path):
+        target = tmp_path / "hot.py"
+        target.write_text(
+            textwrap.dedent(
+                """
+                import numpy as np
+
+                def predict_one(X: np.ndarray):
+                    total = 0.0
+                    for x in X:
+                        total = total + float(x)
+                    return total
+                """
+            )
+        )
+        return target
+
+    def test_performance_domain_exit_codes(self, tmp_path, capsys):
+        target = self._hot_loop_file(tmp_path)
+        assert main(["lint", "--domain", "performance", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "PERF001" in out
+        assert main(
+            ["lint", "--domain", "performance", "--ignore", "PERF001",
+             str(target)]
+        ) == 0
+
+    def test_src_repro_performance_gate_is_clean(self, capsys):
+        assert main(["lint", "--domain", "performance", "src/repro"]) == 0
+        assert "0 errors, 0 warnings" in capsys.readouterr().out
+
+    def test_all_domain_includes_performance(self, tmp_path, capsys):
+        target = self._hot_loop_file(tmp_path)
+        assert main(["lint", "--domain", "all", str(target)]) == 1
+        assert "PERF001" in capsys.readouterr().out
+
+    def test_statistics_flag_counts_by_domain(self, tmp_path, capsys):
+        target = self._hot_loop_file(tmp_path)
+        main(["lint", "--domain", "all", "--statistics", str(target)])
+        out = capsys.readouterr().out
+        assert "statistics:" in out
+        assert "performance (PERF): 1" in out
+        assert "PERF001: 1" in out
+        assert "determinism (DET): 0" in out
+        assert "concurrency (CON): 0" in out
+        assert "suppressions (SUP): 0" in out
+
+    def test_json_format_carries_perf_findings(self, tmp_path, capsys):
+        target = self._hot_loop_file(tmp_path)
+        main(["lint", "--domain", "performance", "--format", "json",
+              str(target)])
+        payload = json.loads(capsys.readouterr().out)
+        assert [d["rule"] for d in payload["diagnostics"]] == ["PERF001"]
+
+
+# --------------------------------------------------------------------------
+# byte-identity of the triage fixes the analyzer drove
+# --------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def forward_model_and_data():
+    from repro.benchdata import inference_campaign
+    from repro.core.forward import ForwardModel
+
+    data = inference_campaign(
+        models=("alexnet", "resnet18"),
+        batch_sizes=(1, 8, 32),
+        image_sizes=(64, 128),
+        seed=31,
+    )
+    return ForwardModel().fit(data), data
+
+
+@pytest.fixture(scope="module")
+def step_model_and_data():
+    from repro.benchdata import distributed_campaign
+    from repro.core.training import TrainingStepModel
+
+    data = distributed_campaign(
+        models=("alexnet", "resnet18", "mobilenet_v2"),
+        node_counts=(1, 2, 4),
+        batch_sizes=(16, 64),
+        image_sizes=(64, 128),
+        seed=33,
+    )
+    return TrainingStepModel().fit(data), data
+
+
+class TestTriageByteIdentity:
+    """Every triaged fix ships with a proof that outputs did not move."""
+
+    def test_linear_predict_matrix_vs_single_rows(self, forward_model_and_data):
+        # regression.py keeps its columnwise loop (suppressed, justified);
+        # batching rows through it must equal row-at-a-time calls.
+        model, data = forward_model_and_data
+        lm = model.model
+        from repro.core.features import forward_design
+
+        X = forward_design(list(data), model.metric_names)
+        batched = lm.predict(X)
+        rows = np.array([lm.predict(X[i])[0] for i in range(len(X))])
+        assert batched.tolist() == rows.tolist()
+
+    def test_forward_predict_configs_vs_predict_one(
+        self, forward_model_and_data
+    ):
+        model, data = forward_model_and_data
+        features = data[0].features
+        batches = [1, 4, 16, 64, 256]
+        batched = model.predict_configs(features, batches)
+        scalar = [model.predict_one(features, b) for b in batches]
+        assert batched.tolist() == scalar
+
+    def test_step_predict_configs_vs_predict_one(self, step_model_and_data):
+        model, data = step_model_and_data
+        features = data[0].features
+        configs = [
+            (16, 1, 1), (64, 1, 1), (16, 8, 2), (64, 8, 2), (32, 16, 4),
+        ]
+        batched = model.predict_configs(features, configs)
+        scalar = [
+            model.predict_one(features, b, devices=d, nodes=n).total
+            for b, d, n in configs
+        ]
+        assert batched.tolist() == scalar
+
+    def test_scaling_curves_vs_per_config_predictions(
+        self, step_model_and_data
+    ):
+        from repro.core.scalability import (
+            batch_scaling_curve,
+            node_scaling_curve,
+            strong_scaling_curve,
+        )
+
+        model, data = step_model_and_data
+        features = data[0].features
+        for curve in (
+            node_scaling_curve(
+                model, features, 16, (1, 2, 4), domain_factor=None
+            ),
+            strong_scaling_curve(
+                model, features, 256, (1, 2, 4), domain_factor=None
+            ),
+            batch_scaling_curve(
+                model, features, (16, 64, 256), domain_factor=None
+            ),
+        ):
+            for point in curve:
+                expected = model.predict_one(
+                    features,
+                    point.per_device_batch,
+                    devices=point.devices,
+                    nodes=max(point.devices // 4, 1)
+                    if point.devices > 1
+                    else 1,
+                ).total
+                assert point.step_time == expected
+
+    def test_serve_forward_batch_vs_scalar(self, forward_model_and_data):
+        from repro.serve.protocol import predict_forward_batch
+
+        model, data = forward_model_and_data
+        feats = [r.features for r in list(data)[:6]]
+        batches = [1, 2, 8, 16, 64, 256]
+        batched = predict_forward_batch(model, feats, batches)
+        scalar = [
+            model.predict_one(f, b) for f, b in zip(feats, batches)
+        ]
+        assert batched.tolist() == scalar
+
+    def test_serve_step_batch_vs_scalar(self, step_model_and_data):
+        from repro.serve.protocol import predict_step_batch
+
+        model, data = step_model_and_data
+        feats = [data[0].features] * 4
+        batches = [16, 64, 16, 64]
+        devices = [1, 1, 8, 8]
+        nodes = [1, 1, 2, 2]
+        fwd, bwd = predict_step_batch(model, feats, batches, devices, nodes)
+        for i in range(4):
+            pred = model.predict_one(
+                feats[i], batches[i], devices=devices[i], nodes=nodes[i]
+            )
+            assert fwd[i] == pred.forward
+            assert bwd[i] == pred.backward_plus_update
+
+    def test_polynomial_row_vs_scalar_reference(self):
+        from repro.baselines.neuralpower import _base_row, polynomial_row
+        from repro.benchdata.records import ConvNetFeatures
+
+        def reference(features, batch, degree):
+            base = _base_row(features, batch)
+            parts = [base]
+            for d in range(2, degree + 1):
+                parts.append(
+                    np.array([
+                        np.prod(base[list(combo)])
+                        for combo in combinations_with_replacement(
+                            range(base.size), d
+                        )
+                    ])
+                )
+            parts.append(np.ones(1))
+            return np.concatenate(parts)
+
+        features = ConvNetFeatures(7.13e9, 1.2e7, 9.4e6, 6.1e7, 21)
+        for degree in (1, 2, 3, 4):
+            for batch in (1, 32, 2048):
+                assert polynomial_row(
+                    features, batch, degree
+                ).tolist() == reference(features, batch, degree).tolist()
+
+    def test_paleo_predict_vs_scalar_reference(self, forward_model_and_data):
+        from repro.baselines.paleo import PaleoModel
+        from repro.hardware.device import get_device
+
+        _, data = forward_model_and_data
+        model = PaleoModel(get_device("a100-80gb"))
+        records = list(data)
+        got = model.predict(records)
+        expected = np.array([
+            r.features.flops * r.batch
+            / (model.device.peak_flops * model.percent_of_peak)
+            + ((r.features.inputs + r.features.outputs) * r.batch
+               + r.features.weights) * 4.0
+            / (model.device.mem_bandwidth * model.percent_of_peak)
+            for r in records
+        ])
+        assert got.tolist() == expected.tolist()
+
+    def test_layer_times_batched_rows_vs_scalar(self):
+        from repro.hardware.device import get_device
+        from repro.hardware.roofline import layer_times, zoo_profile
+
+        profile = zoo_profile("alexnet", 64)
+        device = get_device("a100-80gb")
+        batches = (1, 8, 64, 512)
+        grid = layer_times(profile, np.asarray(batches), device)
+        for row, batch in zip(grid, batches):
+            assert row.tolist() == layer_times(
+                profile, batch, device
+            ).tolist()
+
+    def test_clean_time_grids_vs_clean_components(self):
+        from repro.hardware.device import get_device
+        from repro.hardware.executor import SimulatedExecutor
+        from repro.hardware.roofline import zoo_profile
+
+        profile = zoo_profile("alexnet", 64)
+        executor = SimulatedExecutor(get_device("a100-80gb"), seed=3)
+        batches = (1, 8, 64)
+        inference = executor.clean_time_grids(profile, batches)
+        training = executor.clean_time_grids(profile, batches, training=True)
+        for batch in batches:
+            assert inference[batch] == (
+                executor.forward_time_clean(profile, batch),
+            )
+            assert training[batch] == (
+                executor.forward_time_clean(profile, batch),
+                executor.backward_time_clean(profile, batch),
+                executor.grad_update_time_clean(profile),
+            )
+
+    def test_campaign_grid_cache_records_identical(self):
+        from repro.benchdata import CampaignSpec, run_campaign
+        from repro.benchdata.engine import (
+            BLOCK_PROFILE_CACHE,
+            CLEAN_TIME_CACHE,
+            VERIFY_CACHE,
+        )
+        from repro.hardware.device import get_device
+        from repro.hardware.roofline import PROFILE_CACHE
+
+        spec = CampaignSpec(
+            scenario="training",
+            models=("alexnet",),
+            device=get_device("a100-80gb"),
+            batch_sizes=(1, 8, 32),
+            image_sizes=(64,),
+            seed=37,
+        )
+
+        def cold_run(grid_cache):
+            for cache in (
+                PROFILE_CACHE, BLOCK_PROFILE_CACHE, CLEAN_TIME_CACHE,
+                VERIFY_CACHE,
+            ):
+                cache.clear()
+            return run_campaign(spec, verify="off", grid_cache=grid_cache)
+
+        uncached = cold_run(grid_cache=False)
+        cached = cold_run(grid_cache=True)
+        assert cached.dataset.records == uncached.dataset.records
+        assert cached.stats.counters == uncached.stats.counters
+
+    def test_pipeline_memoization_identical_and_idempotent(self):
+        from repro.graph.passes import (
+            PIPELINE_CACHE,
+            default_inference_pipeline,
+        )
+        from repro.zoo import build_model
+
+        graph = build_model("alexnet", 64)
+        pipeline = default_inference_pipeline()
+        PIPELINE_CACHE.clear()
+        first = pipeline.run(graph)
+        assert pipeline.run(graph) is first  # served from cache
+        PIPELINE_CACHE.clear()
+        recomputed = pipeline.run(graph)
+        assert recomputed is not first
+        assert recomputed.graph.fingerprint() == first.graph.fingerprint()
+        assert [n.name for n in recomputed.graph] == [
+            n.name for n in first.graph
+        ]
+
+    def test_graph_fingerprint_invalidates_on_mutation(self):
+        from repro.graph.graph import ComputeGraph, Node
+        from repro.graph.layers import Input
+        from repro.graph.tensor import TensorShape
+
+        shape = TensorShape(3, 8, 8)
+        graph = ComputeGraph("probe")
+        graph.add_node(Node("in", Input(shape), (), shape))
+        before = graph.fingerprint()
+        assert graph.fingerprint() == before  # cached, stable
+        graph.add_node(Node("in2", Input(shape), (), shape))
+        assert graph.fingerprint() != before
