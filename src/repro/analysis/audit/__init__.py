@@ -17,6 +17,15 @@ reports findings as :class:`repro.diagnostics.Diagnostic` records:
 * ``FIT005`` — high-leverage training points dominating the fit
 * ``FIT006`` — systematic per-ConvNet residual bias under a shared fit
 * ``FIT007`` — intercept dominating small-configuration predictions
+* ``FIT008`` — unfitted artifact, or non-finite/missing trained parameters
+* ``FIT009`` — missing or degenerate fitted feature ranges
+* ``FIT010`` — seeded initialisation does not replay (fingerprint
+  mismatch)
+
+FIT001–FIT007 read linear coefficients and design matrices; FIT008–FIT010
+audit *learned* artifacts (ResPerfNet / PerfSeer / PreNeT) through the
+:class:`~repro.analysis.audit.artifacts.AuditableArtifact` protocol, and
+FIT004/FIT006 generalise to them through the same protocol.
 
 Entry points: :func:`audit_model` for any persistable model (optionally
 with its campaign dataset for design-matrix and residual rules),
@@ -26,6 +35,12 @@ with its campaign dataset for design-matrix and residual rules),
 ``docs/static-analysis.md``.
 """
 
+from repro.analysis.audit.artifacts import (
+    AuditableArtifact,
+    artifact_prediction_warnings,
+    audit_artifact,
+    audit_artifact_queries,
+)
 from repro.analysis.audit.models import (
     audit_model,
     audit_prediction_query,
@@ -49,6 +64,10 @@ __all__ = [
     "Diagnostic",
     "Severity",
     "AuditRule",
+    "AuditableArtifact",
+    "artifact_prediction_warnings",
+    "audit_artifact",
+    "audit_artifact_queries",
     "FIT_RULES",
     "ModelAuditError",
     "DEFAULT_DOMAIN_FACTOR",

@@ -1,0 +1,283 @@
+"""Auditing learned (nonlinear) predictor artifacts: FIT008–FIT010.
+
+The linear rules (FIT001–FIT007) read coefficients and design matrices —
+surfaces a residual MLP or a graph-structured readout does not expose in
+the same shape.  What every *learned* artifact does expose is captured by
+the :class:`AuditableArtifact` protocol (trained parameter vector, fitted
+feature ranges, seeded-init fingerprint, raw query rows), and three rules
+audit exactly that surface:
+
+* ``FIT008`` — unfitted artifact, or non-finite / missing trained
+  parameters (a NaN that slipped through training poisons every
+  prediction silently).
+* ``FIT009`` — missing or degenerate fitted feature ranges (without
+  ranges the FIT004 extrapolation guard cannot run at serve time).
+* ``FIT010`` — seed replay: re-running the artifact's seeded
+  initialisation must reproduce the recorded fingerprint; a mismatch
+  means the artifact's provenance claim (deterministically derived from
+  its seed) is false.
+
+FIT004 (extrapolation) and FIT006 (per-group residual bias) generalise
+unchanged because the protocol carries ``domain_violations`` and
+``predict``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.analysis.audit.rules import (
+    DEFAULT_DOMAIN_FACTOR,
+    audit_residual_bias,
+)
+from repro.core.features import target
+from repro.core.regression import DomainViolation
+from repro.diagnostics import Diagnostic, Severity
+
+
+@runtime_checkable
+class AuditableArtifact(Protocol):
+    """The audit surface every learned predictor artifact exposes."""
+
+    kind: str
+    target: str
+    seed: int
+    init_fingerprint: str
+    feature_ranges: tuple[tuple[float, float], ...] | None
+
+    def feature_names(self) -> tuple[str, ...]: ...
+
+    def query_matrix(self, records) -> np.ndarray: ...
+
+    def parameter_vector(self) -> np.ndarray: ...
+
+    def replay_init_fingerprint(self) -> str: ...
+
+    def domain_violations(
+        self, X: np.ndarray, factor: float = ...
+    ) -> list[DomainViolation]: ...
+
+    def predict(self, data) -> np.ndarray: ...
+
+
+def _is_fitted(artifact: AuditableArtifact) -> bool:
+    return artifact.feature_ranges is not None
+
+
+def audit_artifact_params(
+    artifact: AuditableArtifact, *, location: str = "model"
+) -> list[Diagnostic]:
+    """FIT008 — trained parameters exist and are finite."""
+    if not _is_fitted(artifact):
+        return [
+            Diagnostic(
+                "FIT008", Severity.ERROR, location,
+                f"{artifact.kind} artifact is not fitted; nothing to audit",
+                hint="call fit() before persisting or auditing",
+            )
+        ]
+    params = np.asarray(artifact.parameter_vector(), dtype=np.float64)
+    found: list[Diagnostic] = []
+    if params.size == 0:
+        found.append(
+            Diagnostic(
+                "FIT008", Severity.ERROR, f"{location}:params",
+                f"{artifact.kind} artifact declares fitted ranges but "
+                "carries no trained parameters",
+                hint="the artifact state is inconsistent; refit and "
+                "re-save it",
+            )
+        )
+        return found
+    bad = int(np.count_nonzero(~np.isfinite(params)))
+    if bad:
+        found.append(
+            Diagnostic(
+                "FIT008", Severity.ERROR, f"{location}:params",
+                f"{bad} of {params.size} trained parameters are "
+                "non-finite (NaN/inf); every prediction they touch is "
+                "poisoned",
+                hint="training diverged — lower the learning rate or "
+                "check the target transform, then refit",
+            )
+        )
+    return found
+
+
+def audit_artifact_ranges(
+    artifact: AuditableArtifact, *, location: str = "model"
+) -> list[Diagnostic]:
+    """FIT009 — fitted feature ranges present and well-formed."""
+    ranges = artifact.feature_ranges
+    if ranges is None:
+        return [
+            Diagnostic(
+                "FIT009", Severity.WARN, f"{location}:ranges",
+                f"{artifact.kind} artifact carries no fitted feature "
+                "ranges; the FIT004 extrapolation guard cannot run on "
+                "its queries",
+                hint="refit with a current repro version (fit() records "
+                "ranges automatically)",
+            )
+        ]
+    found: list[Diagnostic] = []
+    names = artifact.feature_names()
+    for j, (lo, hi) in enumerate(ranges):
+        label = names[j] if j < len(names) else f"feature[{j}]"
+        if label == "intercept":
+            # Constant by design, same exemption FIT003 grants it.
+            continue
+        if not (math.isfinite(lo) and math.isfinite(hi)):
+            found.append(
+                Diagnostic(
+                    "FIT009", Severity.ERROR, f"{location}:{label}",
+                    f"fitted range [{lo:.6g}, {hi:.6g}] is non-finite",
+                    hint="a non-finite feature reached fit(); fix the "
+                    "feature extraction and refit",
+                )
+            )
+        elif lo > hi:
+            found.append(
+                Diagnostic(
+                    "FIT009", Severity.ERROR, f"{location}:{label}",
+                    f"fitted range [{lo:.6g}, {hi:.6g}] is inverted "
+                    "(lower bound above upper)",
+                    hint="the artifact state is corrupt; refit and "
+                    "re-save it",
+                )
+            )
+        elif lo == hi:
+            found.append(
+                Diagnostic(
+                    "FIT009", Severity.WARN, f"{location}:{label}",
+                    f"feature was constant ({lo:.6g}) across the whole "
+                    "fit; its fitted range cannot catch extrapolation",
+                    hint="sweep the feature in the campaign if queries "
+                    "will vary it",
+                )
+            )
+    return found
+
+
+def audit_artifact_seed(
+    artifact: AuditableArtifact, *, location: str = "model"
+) -> list[Diagnostic]:
+    """FIT010 — the seeded initialisation replays to the recorded
+    fingerprint."""
+    if not _is_fitted(artifact):
+        return []
+    recorded = artifact.init_fingerprint
+    if not recorded:
+        return [
+            Diagnostic(
+                "FIT010", Severity.WARN, f"{location}:seed",
+                f"{artifact.kind} artifact records no initialisation "
+                "fingerprint; seed replay cannot be verified",
+                hint="refit with a current repro version (fit() records "
+                "the fingerprint automatically)",
+            )
+        ]
+    replayed = artifact.replay_init_fingerprint()
+    if replayed != recorded:
+        return [
+            Diagnostic(
+                "FIT010", Severity.ERROR, f"{location}:seed",
+                f"seed replay mismatch: re-initialising from seed "
+                f"{artifact.seed} yields {replayed[:12]}…, the artifact "
+                f"records {recorded[:12]}…",
+                hint="the artifact was not produced by the seed it "
+                "claims (tampered state, or a changed init scheme); "
+                "refit to restore provenance",
+            )
+        ]
+    return []
+
+
+def audit_artifact(
+    artifact: AuditableArtifact,
+    data=None,
+    *,
+    location: str = "model",
+) -> list[Diagnostic]:
+    """Full FIT008–FIT010 audit of one learned artifact.
+
+    With ``data`` supplied, the per-model residual-bias rule (FIT006)
+    runs on top, exactly as it does for the linear models.
+    """
+    found = audit_artifact_params(artifact, location=location)
+    found.extend(audit_artifact_ranges(artifact, location=location))
+    found.extend(audit_artifact_seed(artifact, location=location))
+    records = list(data) if data is not None else []
+    if records and _is_fitted(artifact):
+        measured = target(records, artifact.target)
+        predicted = np.asarray(
+            artifact.predict(records), dtype=np.float64
+        )
+        groups: dict[str, tuple[list, list]] = {}
+        for r, m, p in zip(records, measured, predicted):
+            groups.setdefault(r.model, ([], []))
+            groups[r.model][0].append(float(m))
+            groups[r.model][1].append(float(p))
+        found.extend(
+            audit_residual_bias(
+                {
+                    k: (np.array(ms), np.array(ps))
+                    for k, (ms, ps) in groups.items()
+                },
+                location=f"{location}.residuals",
+            )
+        )
+    return found
+
+
+def audit_artifact_queries(
+    artifact: AuditableArtifact,
+    records: Sequence,
+    factor: float = DEFAULT_DOMAIN_FACTOR,
+    *,
+    location: str = "query",
+) -> list[Diagnostic]:
+    """FIT004 — query records beyond the artifact's fitted ranges."""
+    if not _is_fitted(artifact) or not records:
+        return []
+    X = artifact.query_matrix(list(records))
+    found = []
+    for violation in artifact.domain_violations(X, factor=factor):
+        found.append(
+            Diagnostic(
+                "FIT004", Severity.WARN,
+                f"{location}:{violation.feature}",
+                f"extrapolation: {violation.describe()}",
+                hint="the predictor still answers, but no measurement "
+                "backs it; tighten the query or extend the campaign",
+            )
+        )
+    return found
+
+
+def artifact_prediction_warnings(
+    artifact: AuditableArtifact,
+    records: Sequence,
+    factor: float | None = DEFAULT_DOMAIN_FACTOR,
+) -> list[str]:
+    """Rendered FIT004 findings for served queries (thread-safe, pure)."""
+    if factor is None:
+        return []
+    return [
+        d.render()
+        for d in audit_artifact_queries(artifact, records, factor)
+    ]
+
+
+__all__ = [
+    "AuditableArtifact",
+    "artifact_prediction_warnings",
+    "audit_artifact",
+    "audit_artifact_params",
+    "audit_artifact_queries",
+    "audit_artifact_ranges",
+    "audit_artifact_seed",
+]

@@ -16,6 +16,11 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.analysis.audit.artifacts import (
+    AuditableArtifact,
+    audit_artifact,
+    audit_artifact_queries,
+)
 from repro.analysis.audit.rules import (
     DEFAULT_DOMAIN_FACTOR,
     ModelAuditError,
@@ -147,6 +152,8 @@ def audit_model(
                     location="step.residuals",
                 )
             )
+    elif isinstance(model, AuditableArtifact):
+        found = audit_artifact(model, records or None, location="model")
     else:
         raise TypeError(f"cannot audit {type(model).__name__}")
     return sort_diagnostics(_keep(found, ignore))

@@ -421,6 +421,12 @@ FIT_RULES: tuple[AuditRule, ...] = (
               "systematic per-group residual bias"),
     AuditRule("FIT007", Severity.WARN,
               "intercept dominates small-configuration predictions"),
+    AuditRule("FIT008", Severity.ERROR,
+              "unfitted artifact, or non-finite/missing trained parameters"),
+    AuditRule("FIT009", Severity.WARN,
+              "missing or degenerate fitted feature ranges"),
+    AuditRule("FIT010", Severity.ERROR,
+              "seeded initialisation does not replay (fingerprint mismatch)"),
 )
 
 

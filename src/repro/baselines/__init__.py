@@ -1,4 +1,4 @@
-"""Comparator models.
+"""Comparator models and the learned-baseline predictor suite.
 
 * Single-metric regressions (FLOPs-only / Inputs-only / Outputs-only) for
   the Figure 2 ablation — thin configurations of the forward model.
@@ -6,7 +6,13 @@
   device capability) representing the FLOPs-based related work.
 * A DIPPM stand-in: a learned graph-feature predictor trained on a fixed
   coarse dataset, reproducing the qualitative Figure 6 comparison.
+* The :class:`~repro.baselines.protocol.Predictor` suite: the adapters
+  above plus three numpy-from-scratch learned competitors (ResPerfNet /
+  PerfSeer / PreNeT stand-ins), raced by the leave-one-out leaderboard
+  (:mod:`repro.baselines.eval`, ``repro leaderboard``).
 """
+
+from typing import Any
 
 from repro.baselines.single_metric import (
     SINGLE_METRIC_VARIANTS,
@@ -14,11 +20,69 @@ from repro.baselines.single_metric import (
 )
 from repro.baselines.paleo import PaleoModel
 from repro.baselines.dippm import DippmSurrogate, GraphUnsupportedError
+from repro.baselines.adapters import (
+    ConvMeterPredictor,
+    DippmPredictor,
+    NeuralPowerPredictor,
+    PaleoPredictor,
+)
+from repro.baselines.neuralpower import NeuralPowerModel
+from repro.baselines.perfseer import PerfSeer
+from repro.baselines.prenet import PreNeT
+from repro.baselines.protocol import (
+    LearnedPredictor,
+    MLPPredictor,
+    Predictor,
+    canonical_records,
+    record_identity,
+    validation_mask,
+)
+from repro.baselines.resperfnet import ResPerfNet
+
+#: Artifact kinds owned by the learned predictors (persistence dispatch).
+LEARNED_KINDS: tuple[str, ...] = (
+    ResPerfNet.kind, PerfSeer.kind, PreNeT.kind,
+)
+
+_KIND_TO_CLASS = {
+    ResPerfNet.kind: ResPerfNet,
+    PerfSeer.kind: PerfSeer,
+    PreNeT.kind: PreNeT,
+}
+
+
+def predictor_from_state(kind: str, state: dict[str, Any]) -> LearnedPredictor:
+    """Rebuild a learned predictor from its persisted ``"predictor"`` state."""
+    try:
+        cls = _KIND_TO_CLASS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown learned-predictor kind {kind!r}; "
+            f"options: {', '.join(LEARNED_KINDS)}"
+        ) from None
+    return cls.from_state(state)
+
 
 __all__ = [
     "SINGLE_METRIC_VARIANTS",
     "single_metric_model",
     "PaleoModel",
+    "NeuralPowerModel",
     "DippmSurrogate",
     "GraphUnsupportedError",
+    "Predictor",
+    "LearnedPredictor",
+    "MLPPredictor",
+    "canonical_records",
+    "record_identity",
+    "validation_mask",
+    "ConvMeterPredictor",
+    "PaleoPredictor",
+    "NeuralPowerPredictor",
+    "DippmPredictor",
+    "ResPerfNet",
+    "PerfSeer",
+    "PreNeT",
+    "LEARNED_KINDS",
+    "predictor_from_state",
 ]

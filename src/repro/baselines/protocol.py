@@ -1,0 +1,395 @@
+"""The ``Predictor`` protocol and the learned-artifact base class.
+
+Every baseline in the suite — the existing ConvMeter/PALEO/NeuralPower/
+DIPPM adapters and the three numpy-from-scratch competitors — speaks one
+interface so the leave-one-out harness, the leaderboard, the persistence
+layer and the serve registry treat them interchangeably:
+
+* :class:`Predictor` — the structural contract (fit / predict / declared
+  feature set / a seed), satisfied by adapters and learned models alike.
+* :class:`LearnedPredictor` — the persistable half: predictors with
+  trained parameters, recorded feature ranges, and seeded-init
+  fingerprints.  These save/load through ``repro.core.persistence`` as v2
+  artifacts (kinds ``resperfnet`` / ``perfseer`` / ``prenet``) and satisfy
+  the auditor's ``AuditableArtifact`` protocol (FIT008–FIT010).
+
+Determinism contract: ``fit`` consumes records in **canonical order**
+(:func:`canonical_records`), never enumeration order, so fitting is
+independent of how the campaign happened to iterate the zoo; the held-out
+validation fold is assigned per record identity via ``stable_seed``, not
+via positional splitting.  Both properties are gated by
+``tests/test_properties.py``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.baselines.nn import (
+    ResidualMLP,
+    TrainConfig,
+    params_fingerprint,
+)
+from repro.benchdata.records import Dataset, TimingRecord
+from repro.core.features import target
+from repro.core.regression import DomainViolation, range_violations
+from repro.hardware.noise import stable_seed
+
+
+@runtime_checkable
+class Predictor(Protocol):
+    """Structural contract every suite member satisfies."""
+
+    #: Registry name ("convmeter", "resperfnet", …).
+    name: str
+    #: Measured phase the predictor is trained against ("fwd" | "total").
+    target: str
+    seed: int
+
+    def fit(self, data: Dataset | Sequence[TimingRecord]) -> "Predictor": ...
+
+    def predict(
+        self, data: Dataset | Sequence[TimingRecord]
+    ) -> np.ndarray: ...
+
+    def feature_names(self) -> tuple[str, ...]: ...
+
+
+def record_identity(record: TimingRecord) -> tuple:
+    """The total order ``fit`` consumes records in (and folds hash on)."""
+    return (
+        record.model,
+        record.scenario,
+        record.device,
+        record.image_size,
+        record.batch,
+        record.nodes,
+        record.devices,
+        record.rep,
+    )
+
+
+def canonical_records(
+    data: Dataset | Iterable[TimingRecord],
+) -> list[TimingRecord]:
+    """Records sorted by identity — fitting order independent of
+    enumeration order (zoo iteration, shard interleaving, resume order)."""
+    return sorted(data, key=record_identity)
+
+
+def validation_mask(
+    records: Sequence[TimingRecord], fraction: float, seed: int
+) -> np.ndarray:
+    """Identity-keyed held-out fold for early stopping.
+
+    Each record lands in the fold by hashing its *identity* (never its
+    position), so the split survives reordering and record addition
+    elsewhere in the dataset.  Degenerates to no fold (all False) when the
+    fraction is zero, the dataset is tiny, or the hash happens to put
+    everything on one side — early stopping then simply runs all epochs.
+    """
+    if fraction <= 0.0 or len(records) < 8:
+        return np.zeros(len(records), dtype=bool)
+    mask = np.empty(len(records), dtype=bool)
+    for i, record in enumerate(records):
+        u = stable_seed("val-fold", seed, *record_identity(record))
+        mask[i] = (u % 2**32) / 2**32 < fraction
+    if bool(mask.all()) or not bool(mask.any()):
+        return np.zeros(len(records), dtype=bool)
+    return mask
+
+
+class LearnedPredictor(abc.ABC):
+    """Base of the persistable, auditable learned predictors.
+
+    Subclasses declare ``kind`` (the artifact kind / registry name) and
+    implement the raw feature extraction; this base owns the determinism
+    plumbing (canonical ordering, recorded ranges, fingerprints) and the
+    persistence/audit surface.
+    """
+
+    #: Artifact kind; also the suite registry name.
+    kind: str = ""
+
+    def __init__(self, target_phase: str = "fwd", seed: int = 0) -> None:
+        self.target = target_phase
+        self.seed = seed
+        self.feature_ranges: tuple[tuple[float, float], ...] | None = None
+        self.init_fingerprint: str = ""
+
+    # -- subclass API ------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.kind
+
+    @abc.abstractmethod
+    def feature_names(self) -> tuple[str, ...]: ...
+
+    @abc.abstractmethod
+    def query_matrix(
+        self, records: Sequence[TimingRecord]
+    ) -> np.ndarray:
+        """Raw (physical, pre-normalisation) feature rows for records.
+
+        These are the columns ``feature_ranges`` is recorded over, so
+        FIT004 extrapolation messages speak in interpretable units.
+        """
+
+    @abc.abstractmethod
+    def _fit_rows(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        records: Sequence[TimingRecord],
+    ) -> None: ...
+
+    @abc.abstractmethod
+    def _predict_rows(self, X: np.ndarray) -> np.ndarray: ...
+
+    @abc.abstractmethod
+    def parameter_vector(self) -> np.ndarray:
+        """Trained parameters, flattened (FIT008 scans for non-finites)."""
+
+    @abc.abstractmethod
+    def replay_init_fingerprint(self) -> str:
+        """Re-run the seeded initialisation; FIT010 compares the result
+        against the stored ``init_fingerprint``."""
+
+    @abc.abstractmethod
+    def to_state(self) -> dict[str, Any]:
+        """JSON-safe structural state (``repro.core.persistence`` embeds
+        this under the artifact's ``"predictor"`` key)."""
+
+    # -- shared plumbing ---------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.feature_ranges is not None
+
+    def fit(
+        self, data: Dataset | Sequence[TimingRecord]
+    ) -> "LearnedPredictor":
+        records = canonical_records(data)
+        if not records:
+            raise ValueError("cannot fit on an empty dataset")
+        X = self.query_matrix(records)
+        y = target(records, self.target)
+        self.feature_ranges = tuple(
+            (float(lo), float(hi))
+            for lo, hi in zip(X.min(axis=0), X.max(axis=0))
+        )
+        self._fit_rows(X, y, records)
+        return self
+
+    def predict(
+        self, data: Dataset | Sequence[TimingRecord]
+    ) -> np.ndarray:
+        records = list(data)
+        if not records:
+            return np.empty(0, dtype=np.float64)
+        return self._predict_rows(self.query_matrix(records))
+
+    def domain_violations(
+        self, X: np.ndarray, factor: float = 10.0
+    ) -> list[DomainViolation]:
+        """FIT004 range check of raw query rows (shared implementation
+        with :class:`~repro.core.regression.LinearModel`)."""
+        if self.feature_ranges is None:
+            return []
+        return range_violations(
+            X, self.feature_ranges, self.feature_names(), factor
+        )
+
+    def _base_state(self) -> dict[str, Any]:
+        return {
+            "target": self.target,
+            "seed": self.seed,
+            "feature_names": list(self.feature_names()),
+            "feature_ranges": (
+                None
+                if self.feature_ranges is None
+                else [[lo, hi] for lo, hi in self.feature_ranges]
+            ),
+            "init_fingerprint": self.init_fingerprint,
+        }
+
+    def _restore_base(self, state: dict[str, Any]) -> None:
+        ranges = state.get("feature_ranges")
+        if ranges is not None:
+            self.feature_ranges = tuple(
+                (float(lo), float(hi)) for lo, hi in ranges
+            )
+        self.init_fingerprint = str(state.get("init_fingerprint", ""))
+
+
+class MLPPredictor(LearnedPredictor):
+    """Shared machinery of the MLP-backed predictors (ResPerfNet, PreNeT).
+
+    Handles the feature transform (elementwise log on the magnitude
+    columns, then standardisation), optional log-space target, the
+    residual-MLP training loop with an identity-keyed validation fold, and
+    the parameter (de)serialisation.  Subclasses supply the raw feature
+    rows and declare which columns are log-transformed.
+    """
+
+    def __init__(
+        self,
+        target_phase: str = "fwd",
+        seed: int = 0,
+        *,
+        hidden: int,
+        blocks: int,
+        epochs: int,
+        lr: float,
+        patience: int,
+        val_fraction: float,
+        log_target: bool,
+    ) -> None:
+        super().__init__(target_phase, seed)
+        self.hidden = hidden
+        self.blocks = blocks
+        self.epochs = epochs
+        self.lr = lr
+        self.patience = patience
+        self.val_fraction = val_fraction
+        self.log_target = log_target
+        self.net: ResidualMLP | None = None
+        self._x_mean: np.ndarray | None = None
+        self._x_std: np.ndarray | None = None
+        self._y_mean: float = 0.0
+        self._y_std: float = 1.0
+        self.fit_history = None
+
+    # -- subclass API ------------------------------------------------------
+
+    @abc.abstractmethod
+    def log_columns(self) -> np.ndarray:
+        """Boolean mask of feature columns transformed to log space."""
+
+    # -- transform ---------------------------------------------------------
+
+    def _transform(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        mask = self.log_columns()
+        Xt = X.copy()
+        if mask.any():
+            cols = Xt[:, mask]
+            if np.any(cols <= 0):
+                raise ValueError(
+                    "log-transformed features must be strictly positive"
+                )
+            Xt[:, mask] = np.log(cols)
+        if self._x_mean is None or self._x_std is None:
+            raise RuntimeError("predictor is not fitted")
+        return (Xt - self._x_mean) / self._x_std
+
+    # -- fit / predict -----------------------------------------------------
+
+    def _fit_rows(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        records: Sequence[TimingRecord],
+    ) -> None:
+        mask = self.log_columns()
+        Xt = X.astype(np.float64, copy=True)
+        if mask.any():
+            if np.any(Xt[:, mask] <= 0):
+                raise ValueError(
+                    "log-transformed features must be strictly positive"
+                )
+            Xt[:, mask] = np.log(Xt[:, mask])
+        mean = Xt.mean(axis=0)
+        std = Xt.std(axis=0)
+        std[std == 0.0] = 1.0
+        self._x_mean, self._x_std = mean, std
+        Xs = (Xt - mean) / std
+        if self.log_target:
+            if np.any(y <= 0):
+                raise ValueError(
+                    "log-space target requires positive measurements"
+                )
+            ty = np.log(y)
+        else:
+            ty = np.asarray(y, dtype=np.float64)
+        self._y_mean = float(ty.mean())
+        self._y_std = float(ty.std()) or 1.0
+        z = (ty - self._y_mean) / self._y_std
+        self.net = ResidualMLP(
+            Xs.shape[1], self.hidden, self.blocks, self.seed
+        )
+        self.init_fingerprint = self.net.init_fingerprint
+        fold = validation_mask(records, self.val_fraction, self.seed)
+        self.fit_history = self.net.fit(
+            Xs, z, fold,
+            TrainConfig(epochs=self.epochs, lr=self.lr,
+                        patience=self.patience),
+        )
+
+    def _predict_rows(self, X: np.ndarray) -> np.ndarray:
+        if self.net is None:
+            raise RuntimeError("predictor is not fitted")
+        z = self.net.predict(self._transform(X))
+        ty = z * self._y_std + self._y_mean
+        return np.exp(ty) if self.log_target else ty
+
+    # -- audit surface -----------------------------------------------------
+
+    def parameter_vector(self) -> np.ndarray:
+        if self.net is None:
+            return np.empty(0, dtype=np.float64)
+        return self.net.parameter_vector()
+
+    def replay_init_fingerprint(self) -> str:
+        if self.net is None:
+            return ""
+        return self.net.replay_init_fingerprint()
+
+    # -- persistence -------------------------------------------------------
+
+    def _mlp_state(self) -> dict[str, Any]:
+        state = self._base_state()
+        state["config"] = {
+            "hidden": self.hidden,
+            "blocks": self.blocks,
+            "epochs": self.epochs,
+            "lr": self.lr,
+            "patience": self.patience,
+            "val_fraction": self.val_fraction,
+            "log_target": self.log_target,
+        }
+        if self.net is not None:
+            assert self._x_mean is not None and self._x_std is not None
+            state["norm"] = {
+                "x_mean": self._x_mean.tolist(),
+                "x_std": self._x_std.tolist(),
+                "y_mean": self._y_mean,
+                "y_std": self._y_std,
+            }
+            state["params"] = self.net.params_to_jsonable()
+            state["params_fingerprint"] = params_fingerprint(
+                self.net.params
+            )
+        return state
+
+    def _restore_mlp(self, state: dict[str, Any]) -> None:
+        self._restore_base(state)
+        if "params" not in state:
+            return
+        norm = state["norm"]
+        self._x_mean = np.asarray(norm["x_mean"], dtype=np.float64)
+        self._x_std = np.asarray(norm["x_std"], dtype=np.float64)
+        self._y_mean = float(norm["y_mean"])
+        self._y_std = float(norm["y_std"])
+        self.net = ResidualMLP(
+            self._x_mean.shape[0], self.hidden, self.blocks, self.seed
+        )
+        self.net.load_params(state["params"])
+        # The stored fingerprint is authoritative: the net above was
+        # re-initialised only to fix shapes, its fresh fingerprint is
+        # replaced by the artifact's recorded one.
+        self.net.init_fingerprint = self.init_fingerprint

@@ -1,0 +1,130 @@
+"""ResPerfNet-style residual MLP regressor (arXiv:2012.01671).
+
+ResPerfNet predicts layer/network runtime with a residual fully-connected
+network over configuration features.  This stand-in realises the shape at
+the aggregate level: a log-space residual tanh MLP over the record's
+ConvMeter metrics and sweep coordinates, trained with manual
+forward/backward passes, seeded Philox initialisation and early stopping
+on an identity-keyed held-out fold (see ``repro.baselines.nn``).
+
+Two feature modes:
+
+* ``"log"`` (default) — log of ``[b·F, b·I, b·O, W, L, b, image,
+  devices]``, standardised; target in log space.  The nonlinear
+  competitor the leaderboard races.
+* ``"forward"`` — exactly the ConvMeter forward design ``[b·F, b·I,
+  b·O]`` with the network's bias as the intercept, raw target.  With
+  ``hidden=0`` the network degrades to the affine map OLS solves, which
+  the differential test pins against
+  :class:`~repro.core.regression.LinearModel` (documented tolerance:
+  predictions agree within 1% relative after Adam converges).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.baselines.protocol import MLPPredictor
+from repro.benchdata.records import TimingRecord
+
+_LOG_FEATURES = (
+    "b*flops", "b*inputs", "b*outputs", "weights", "layers",
+    "batch", "image", "devices",
+)
+_FORWARD_FEATURES = ("b*flops", "b*inputs", "b*outputs")
+
+
+class ResPerfNet(MLPPredictor):
+    """Residual MLP runtime regressor over aggregate ConvMeter metrics."""
+
+    kind = "resperfnet"
+
+    def __init__(
+        self,
+        target_phase: str = "fwd",
+        seed: int = 0,
+        *,
+        features: str = "log",
+        hidden: int = 16,
+        blocks: int = 2,
+        epochs: int = 400,
+        lr: float = 0.02,
+        patience: int = 50,
+        val_fraction: float = 0.2,
+    ) -> None:
+        if features not in ("log", "forward"):
+            raise ValueError(
+                f"unknown feature mode {features!r}; options: log, forward"
+            )
+        super().__init__(
+            target_phase, seed,
+            hidden=hidden, blocks=blocks, epochs=epochs, lr=lr,
+            patience=patience, val_fraction=val_fraction,
+            log_target=features == "log",
+        )
+        self.features_mode = features
+
+    def feature_names(self) -> tuple[str, ...]:
+        return (
+            _LOG_FEATURES if self.features_mode == "log"
+            else _FORWARD_FEATURES
+        )
+
+    def log_columns(self) -> np.ndarray:
+        n = len(self.feature_names())
+        return np.full(
+            n, self.features_mode == "log", dtype=bool
+        )
+
+    def query_matrix(
+        self, records: Sequence[TimingRecord]
+    ) -> np.ndarray:
+        X = np.empty(
+            (len(records), len(self.feature_names())), dtype=np.float64
+        )
+        for i, r in enumerate(records):
+            f = r.features
+            if self.features_mode == "forward":
+                X[i] = (
+                    r.batch * f.flops,
+                    r.batch * f.inputs,
+                    r.batch * f.outputs,
+                )
+            else:
+                X[i] = (
+                    r.batch * f.flops,
+                    r.batch * f.inputs,
+                    r.batch * f.outputs,
+                    f.weights,
+                    float(f.layers),
+                    float(r.batch),
+                    float(r.image_size),
+                    float(r.devices),
+                )
+        return X
+
+    # -- persistence -------------------------------------------------------
+
+    def to_state(self) -> dict[str, Any]:
+        state = self._mlp_state()
+        state["features_mode"] = self.features_mode
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "ResPerfNet":
+        config = state["config"]
+        model = cls(
+            target_phase=state["target"],
+            seed=int(state["seed"]),
+            features=state["features_mode"],
+            hidden=int(config["hidden"]),
+            blocks=int(config["blocks"]),
+            epochs=int(config["epochs"]),
+            lr=float(config["lr"]),
+            patience=int(config["patience"]),
+            val_fraction=float(config["val_fraction"]),
+        )
+        model._restore_mlp(state)
+        return model

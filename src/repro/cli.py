@@ -16,6 +16,7 @@ Mirrors how the paper's tooling would be used operationally::
     repro audit model.json --data data.json    # fitted-model auditor
     repro predict --model model.json --network resnet50 \
                   --image 224 --batch 64
+    repro leaderboard --fast -o BENCH_leaderboard.json
     repro experiment table1                    # regenerate a paper artefact
 
 Every subcommand is a thin shell over the library API; nothing here is
@@ -28,6 +29,10 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.baselines.eval import (
+    PREDICTOR_NAMES as _LEADERBOARD_PREDICTORS,
+    SCENARIO_NAMES as _LEADERBOARD_SCENARIOS,
+)
 from repro.benchdata import (
     CampaignSpec,
     CampaignStore,
@@ -533,6 +538,34 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if has_errors(diags) else 0
 
 
+def _cmd_leaderboard(args: argparse.Namespace) -> int:
+    from repro.baselines.eval import (
+        DEFAULT_LEADERBOARD_MODELS,
+        render_leaderboard,
+        run_leaderboard,
+        write_leaderboard,
+    )
+
+    models = tuple(args.models) if args.models else DEFAULT_LEADERBOARD_MODELS
+    try:
+        payload = run_leaderboard(
+            models=models,
+            scenarios=tuple(args.scenario),
+            seed=args.seed,
+            fast=args.fast,
+            predictors=tuple(args.predictors),
+        )
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"leaderboard: {message}", file=sys.stderr)
+        return 2
+    print(render_leaderboard(payload))
+    if args.out:
+        write_leaderboard(payload, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.model_report import block_report
     from repro.zoo import build_model
@@ -827,6 +860,34 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("-o", "--out", default="BENCH_serve.json",
                        help="bench payload path (--bench)")
     serve.set_defaults(func=_cmd_serve)
+
+    leaderboard = sub.add_parser(
+        "leaderboard",
+        help="leave-one-out leaderboard racing every baseline predictor "
+             "(ConvMeter, PALEO, NeuralPower, DIPPM, ResPerfNet, "
+             "PerfSeer, PreNeT) on seeded campaigns",
+        epilog="exit codes: 0 = leaderboard rendered/written, "
+               "2 = unknown scenario/predictor or bad model set",
+    )
+    leaderboard.add_argument("--models", nargs="*", default=None,
+                             help="networks to race over (>= 2; default: "
+                                  "the common-ground zoo subset)")
+    leaderboard.add_argument("--scenario", nargs="*", metavar="NAME",
+                             default=list(_LEADERBOARD_SCENARIOS),
+                             help="scenarios to run "
+                                  f"(default: {' '.join(_LEADERBOARD_SCENARIOS)})")
+    leaderboard.add_argument("--predictors", nargs="*", metavar="NAME",
+                             default=list(_LEADERBOARD_PREDICTORS),
+                             help="suite members to race "
+                                  f"(default: {' '.join(_LEADERBOARD_PREDICTORS)})")
+    leaderboard.add_argument("--seed", type=int, default=0)
+    leaderboard.add_argument("--fast", action="store_true",
+                             help="reduced sweep grid + small learned "
+                                  "models (CI-sized; still deterministic)")
+    leaderboard.add_argument("-o", "--out", default=None,
+                             help="also write the schema-validated "
+                                  "BENCH_leaderboard.json payload here")
+    leaderboard.set_defaults(func=_cmd_leaderboard)
 
     report = sub.add_parser(
         "report", help="block-level latency report for one network"

@@ -104,6 +104,16 @@ def _model_state(model: object) -> dict[str, Any]:
             "forward": _model_state(model.forward),
             "bwd_grad": _model_state(model.bwd_grad),
         }
+    # Imported here: persistence is core-layer, the learned predictors live
+    # above it in repro.baselines.
+    from repro.baselines.protocol import LearnedPredictor
+
+    if isinstance(model, LearnedPredictor):
+        return {
+            "format": _FORMAT_VERSION,
+            "kind": model.kind,
+            "predictor": model.to_state(),
+        }
     raise TypeError(f"cannot serialise {type(model).__name__}")
 
 
@@ -173,6 +183,10 @@ def model_from_dict(state: dict[str, Any]) -> object:
         model.forward = model_from_dict(state["forward"])
         model.bwd_grad = model_from_dict(state["bwd_grad"])
         return model
+    from repro.baselines import LEARNED_KINDS, predictor_from_state
+
+    if kind in LEARNED_KINDS:
+        return predictor_from_state(kind, state["predictor"])
     raise ValueError(f"unknown model kind {kind!r}")
 
 

@@ -18,6 +18,7 @@ are rescaled back — numerically equivalent, far better conditioned.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 from scipy.optimize import nnls as _scipy_nnls
@@ -55,6 +56,64 @@ class DomainViolation:
             f"[{self.fitted_min:.6g}, {self.fitted_max:.6g}] "
             f"({self.n_rows} query row{'s' if self.n_rows != 1 else ''})"
         )
+
+
+def range_violations(
+    X: np.ndarray,
+    ranges: Sequence[tuple[float, float]],
+    labels: Sequence[str],
+    factor: float = 10.0,
+) -> list[DomainViolation]:
+    """Query rows outside ``factor``× the fitted per-feature ranges.
+
+    The shared implementation behind :meth:`LinearModel.domain_violations`
+    and the nonlinear predictor artifacts (``repro.baselines``): a value
+    ``v`` of feature ``j`` violates the domain when ``v > factor * max_j``
+    or (for strictly positive fitted columns) ``v < min_j / factor``.
+    Returns one aggregated :class:`DomainViolation` per offending feature.
+    """
+    if factor <= 0:
+        raise ValueError("extrapolation factor must be positive")
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim == 1:
+        X = X[None, :]
+    if X.shape[1] != len(ranges):
+        raise ValueError(
+            f"query has {X.shape[1]} columns, fitted ranges cover "
+            f"{len(ranges)}"
+        )
+    violations: list[DomainViolation] = []
+    for j, (lo, hi) in enumerate(ranges):
+        col = X[:, j]
+        upper = factor * hi
+        over = col > upper
+        under = (
+            col < lo / factor if lo > 0 else np.zeros_like(col, bool)
+        )
+        bad = over | under
+        if not bad.any():
+            continue
+        # Worst offender: largest multiple beyond its violated bound.
+        excess_over = np.where(
+            over, col / upper, 0.0
+        )
+        with np.errstate(divide="ignore"):
+            excess_under = np.where(
+                under, (lo / factor) / np.maximum(col, 1e-300), 0.0
+            )
+        excess = np.maximum(excess_over, excess_under)
+        worst = int(np.argmax(excess))
+        violations.append(
+            DomainViolation(
+                feature=labels[j],
+                value=float(col[worst]),
+                fitted_min=lo,
+                fitted_max=hi,
+                excess=float(excess[worst] * factor),
+                n_rows=int(bad.sum()),
+            )
+        )
+    return violations
 
 
 @dataclass
@@ -183,51 +242,15 @@ class LinearModel:
         Returns one aggregated :class:`DomainViolation` per offending
         feature; empty when the model has no recorded ranges.
         """
-        if factor <= 0:
-            raise ValueError("extrapolation factor must be positive")
         if self.feature_ranges is None:
+            if factor <= 0:
+                raise ValueError("extrapolation factor must be positive")
             return []
         X = np.asarray(X, dtype=np.float64)
-        if X.ndim == 1:
-            X = X[None, :]
-        if X.shape[1] != len(self.feature_ranges):
-            raise ValueError(
-                f"query has {X.shape[1]} columns, fitted ranges cover "
-                f"{len(self.feature_ranges)}"
-            )
-        labels = self.feature_labels(X.shape[1])
-        violations: list[DomainViolation] = []
-        for j, (lo, hi) in enumerate(self.feature_ranges):
-            col = X[:, j]
-            upper = factor * hi
-            over = col > upper
-            under = (
-                col < lo / factor if lo > 0 else np.zeros_like(col, bool)
-            )
-            bad = over | under
-            if not bad.any():
-                continue
-            # Worst offender: largest multiple beyond its violated bound.
-            excess_over = np.where(
-                over, col / upper, 0.0
-            )
-            with np.errstate(divide="ignore"):
-                excess_under = np.where(
-                    under, (lo / factor) / np.maximum(col, 1e-300), 0.0
-                )
-            excess = np.maximum(excess_over, excess_under)
-            worst = int(np.argmax(excess))
-            violations.append(
-                DomainViolation(
-                    feature=labels[j],
-                    value=float(col[worst]),
-                    fitted_min=lo,
-                    fitted_max=hi,
-                    excess=float(excess[worst] * factor),
-                    n_rows=int(bad.sum()),
-                )
-            )
-        return violations
+        n_cols = X.shape[1] if X.ndim == 2 else X.shape[0]
+        return range_violations(
+            X, self.feature_ranges, self.feature_labels(n_cols), factor
+        )
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         if self.coef is None:

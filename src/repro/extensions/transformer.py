@@ -51,6 +51,38 @@ def transformer_features(graph: ComputeGraph) -> ConvNetFeatures:
     )
 
 
+#: Layer-type groups a workload decomposes into (transformer-aware).
+WORKLOAD_GROUPS: tuple[str, ...] = (
+    "conv", "token_linear", "attention", "linear", "other",
+)
+
+_GROUP_OF_TYPE = {
+    "Conv2d": "conv",
+    "TokenLinear": "token_linear",
+    "ScaledDotProductAttention": "attention",
+    "Linear": "linear",
+}
+
+
+def workload_decomposition(graph: ComputeGraph) -> dict[str, float]:
+    """FLOP shares per layer-type group, summing to 1.
+
+    The workload fingerprint PreNeT-style predictors condition on: a pure
+    ConvNet decomposes to ``conv`` ≈ 1, a ViT splits its compute between
+    ``token_linear`` and ``attention`` — the share vector tells a trained
+    predictor *what kind* of workload a query is, not just how big.
+    """
+    costs = graph_costs(graph)
+    shares = {group: 0.0 for group in WORKLOAD_GROUPS}
+    total = float(sum(c.flops for c in costs))
+    if total <= 0.0:
+        return shares
+    for c in costs:
+        group = _GROUP_OF_TYPE.get(c.layer_type, "other")
+        shares[group] += c.flops
+    return {group: shares[group] / total for group in WORKLOAD_GROUPS}
+
+
 #: Bounded, observable profile cache (same discipline as the campaign
 #: engine's PROFILE_CACHE; `repro lint` bans unbounded lru_cache repo-wide).
 VIT_PROFILE_CACHE: LRUCache[

@@ -247,12 +247,18 @@ def validate_bench_payload(payload: Any) -> list[str]:
 
     Validates ``BENCH_serve.json`` (``repro/serve-bench/v1``) directly
     and delegates ``BENCH_campaign.json`` (``repro/campaign-bench/v1``)
-    to :func:`repro.benchdata.bench.validate_campaign_bench_payload`,
-    so CI and tests share one entry point for every bench artifact
-    instead of duplicating key lists.
+    to :func:`repro.benchdata.bench.validate_campaign_bench_payload` and
+    ``BENCH_leaderboard.json`` (``repro/leaderboard-bench/v1``) to
+    :func:`repro.baselines.eval.validate_leaderboard_payload`, so CI and
+    tests share one entry point for every bench artifact instead of
+    duplicating key lists.
 
     Returns a list of problems (empty = valid).
     """
+    from repro.baselines.eval import (
+        LEADERBOARD_SCHEMA,
+        validate_leaderboard_payload,
+    )
     from repro.benchdata.bench import (
         CAMPAIGN_BENCH_SCHEMA,
         validate_campaign_bench_payload,
@@ -263,6 +269,11 @@ def validate_bench_payload(payload: Any) -> list[str]:
         and payload.get("schema") == CAMPAIGN_BENCH_SCHEMA
     ):
         return validate_campaign_bench_payload(payload)
+    if (
+        isinstance(payload, dict)
+        and payload.get("schema") == LEADERBOARD_SCHEMA
+    ):
+        return validate_leaderboard_payload(payload)
     problems: list[str] = []
 
     def need(obj: Any, key: str, kind: type | tuple, where: str) -> Any:

@@ -40,8 +40,12 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from repro.analysis.audit import prediction_warnings
-from repro.benchdata.records import ConvNetFeatures
+from repro.analysis.audit import (
+    artifact_prediction_warnings,
+    prediction_warnings,
+)
+from repro.baselines.protocol import LearnedPredictor
+from repro.benchdata.records import ConvNetFeatures, TimingRecord
 from repro.core.features import forward_row
 from repro.core.forward import ForwardModel
 from repro.core.scalability import node_scaling_curve
@@ -478,6 +482,46 @@ def answer_request(
                         factor=factor,
                     )
                     + _memory_note(query, profile, False),
+                }
+        elif isinstance(model, LearnedPredictor):
+            # Learned artifacts predict from timing-record coordinates;
+            # the queries become synthetic records (measurements unused —
+            # the sentinel 1.0 is never read by predict).
+            records = [
+                TimingRecord(
+                    model=resolved[i][0].network,
+                    device=resolved[i][0].device,
+                    image_size=resolved[i][0].image,
+                    batch=resolved[i][0].batch,
+                    nodes=resolved[i][0].nodes,
+                    devices=resolved[i][0].devices,
+                    scenario="inference",
+                    features=resolved[i][2],
+                    t_fwd=1.0,
+                )
+                for i in plain
+            ]
+            times = model.predict(records).tolist()
+            training = model.target == "total"
+            for j, i in enumerate(plain):
+                query, profile, features, fused = resolved[i]
+                t = times[j]
+                scale = query.devices if training else 1
+                predictions[i] = {
+                    "kind": entry.kind,
+                    "target": model.target,
+                    "network": query.network,
+                    "image": query.image,
+                    "batch": query.batch,
+                    "nodes": query.nodes,
+                    "devices": query.devices,
+                    "fuse": fused,
+                    "t_seconds": t,
+                    "throughput": query.batch * scale / t,
+                    "warnings": artifact_prediction_warnings(
+                        model, records[j : j + 1], factor
+                    )
+                    + _memory_note(query, profile, training),
                 }
         else:  # pragma: no cover - SERVABLE_KINDS restricts model types
             raise ProtocolError(

@@ -42,7 +42,10 @@ MANIFEST_VERSION = 1
 MANIFEST_NAME = "registry.json"
 
 #: Artifact kinds the predict endpoint can answer queries against.
-SERVABLE_KINDS = ("forward", "backward", "training_step")
+SERVABLE_KINDS = (
+    "forward", "backward", "training_step",
+    "resperfnet", "perfseer", "prenet",
+)
 
 
 class RegistryError(RuntimeError):

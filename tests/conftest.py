@@ -62,6 +62,71 @@ def small_block_data():
     )
 
 
+#: Networks the learned-predictor suite fixtures fit on.  Three models
+#: keep the session-scoped fits fast while leaving leave-one-out folds
+#: meaningful; the batch grid is wide enough that PerfSeer's bucketed
+#: design stays overdetermined.
+SUITE_MODELS = ("alexnet", "mobilenet_v2", "resnet18")
+
+#: Reduced learned-model hyperparameters shared by every suite fixture
+#: (mirrors the leaderboard's ``fast`` profile).
+SUITE_MLP_KWARGS = dict(hidden=8, blocks=1, epochs=120, patience=30)
+
+
+@pytest.fixture(scope="session")
+def suite_inference_data():
+    """Campaign the fitted-predictor fixtures below were trained on.
+
+    Contract (see docs/static-analysis.md): session-scoped — tests must
+    treat it and every fitted predictor derived from it as immutable.
+    """
+    return inference_campaign(
+        models=SUITE_MODELS,
+        device=A100_80GB,
+        batch_sizes=(1, 8, 64, 256),
+        image_sizes=(64, 128),
+        seed=31,
+    )
+
+
+@pytest.fixture(scope="session")
+def suite_training_data():
+    return training_campaign(
+        models=SUITE_MODELS,
+        device=A100_80GB,
+        batch_sizes=(1, 8, 64, 256),
+        image_sizes=(64, 128),
+        seed=32,
+    )
+
+
+@pytest.fixture(scope="session")
+def fitted_resperfnet(suite_inference_data):
+    from repro.baselines import ResPerfNet
+
+    model = ResPerfNet("fwd", seed=7, **SUITE_MLP_KWARGS)
+    model.fit(suite_inference_data)
+    return model
+
+
+@pytest.fixture(scope="session")
+def fitted_perfseer(suite_inference_data):
+    from repro.baselines import PerfSeer
+
+    model = PerfSeer("fwd", seed=7)
+    model.fit(suite_inference_data)
+    return model
+
+
+@pytest.fixture(scope="session")
+def fitted_prenet(suite_inference_data):
+    from repro.baselines import PreNeT
+
+    model = PreNeT("fwd", seed=7, **SUITE_MLP_KWARGS)
+    model.fit(suite_inference_data)
+    return model
+
+
 @pytest.fixture
 def tiny_graph():
     """A minimal conv→bn→relu→pool→fc graph for layer-level tests."""

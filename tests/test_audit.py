@@ -306,10 +306,10 @@ class TestModelLevelDispatch:
         with pytest.raises(TypeError, match="cannot audit"):
             audit_model(object())
 
-    def test_registry_covers_all_seven_rules(self):
+    def test_registry_covers_all_ten_rules(self):
         assert [r.rule for r in FIT_RULES] == [
-            f"FIT00{i}" for i in range(1, 8)
-        ]
+            f"FIT00{i}" for i in range(1, 10)
+        ] + ["FIT010"]
 
 
 class TestAuditCli:
@@ -396,3 +396,107 @@ class TestFitCliAuditGate:
         assert code == 0
         assert "audit:" in capsys.readouterr().out
         assert load_audit_block(out_path) is not None
+
+
+class TestLearnedArtifactAudit:
+    """FIT008–FIT010 on the learned predictor suite, plus the dispatch
+    through audit_model and the CLI exit contract for every new kind."""
+
+    @staticmethod
+    def _copy(model):
+        """A private mutable copy (fixtures are session-scoped)."""
+        from repro.baselines import predictor_from_state
+
+        return predictor_from_state(model.kind, model.to_state())
+
+    def test_clean_artifacts_have_zero_errors(
+        self, fitted_resperfnet, fitted_perfseer, fitted_prenet,
+        suite_inference_data,
+    ):
+        for model in (fitted_resperfnet, fitted_perfseer, fitted_prenet):
+            diags = audit_model(model, suite_inference_data)
+            errors = [d for d in diags if d.severity is Severity.ERROR]
+            assert errors == [], (model.kind, errors)
+
+    def test_unfitted_artifact_is_fit008_error(self):
+        from repro.baselines import ResPerfNet
+
+        diags = audit_model(ResPerfNet("fwd", 0))
+        fit008 = [d for d in diags if d.rule == "FIT008"]
+        assert fit008 and fit008[0].severity is Severity.ERROR
+        assert "not fitted" in fit008[0].message
+
+    def test_nan_parameter_is_fit008_error(self, fitted_resperfnet):
+        poisoned = self._copy(fitted_resperfnet)
+        poisoned.net.params[0][0] = np.nan
+        diags = audit_model(poisoned)
+        assert any(
+            d.rule == "FIT008" and d.severity is Severity.ERROR
+            for d in diags
+        ), diags
+
+    def test_missing_ranges_is_fit009_warn(self, fitted_resperfnet):
+        stripped = self._copy(fitted_resperfnet)
+        stripped.feature_ranges = None
+        diags = [d for d in audit_model(stripped) if d.rule == "FIT009"]
+        assert diags and diags[0].severity is Severity.WARN
+
+    def test_inverted_range_is_fit009_error(self, fitted_resperfnet):
+        corrupt = self._copy(fitted_resperfnet)
+        lo, hi = corrupt.feature_ranges[0]
+        corrupt.feature_ranges = ((hi, lo),) + corrupt.feature_ranges[1:]
+        diags = [d for d in audit_model(corrupt) if d.rule == "FIT009"]
+        assert any(d.severity is Severity.ERROR for d in diags), diags
+
+    def test_tampered_fingerprint_is_fit010_error(self, fitted_perfseer):
+        tampered = self._copy(fitted_perfseer)
+        tampered.init_fingerprint = "0" * 32
+        diags = [d for d in audit_model(tampered) if d.rule == "FIT010"]
+        assert diags and diags[0].severity is Severity.ERROR
+        assert "seed replay mismatch" in diags[0].message
+
+    def test_missing_fingerprint_is_fit010_warn(self, fitted_prenet):
+        blank = self._copy(fitted_prenet)
+        blank.init_fingerprint = ""
+        diags = [d for d in audit_model(blank) if d.rule == "FIT010"]
+        assert diags and diags[0].severity is Severity.WARN
+
+    def test_data_enables_residual_bias_rule(
+        self, fitted_perfseer, suite_inference_data
+    ):
+        """With the campaign supplied, the FIT006 residual machinery runs
+        over the learned artifact's own predictions."""
+        diags = audit_model(fitted_perfseer, suite_inference_data)
+        locations = {d.location for d in diags}
+        # FIT006 may or may not fire — but the audit must complete and
+        # any finding must carry the artifact-side location prefix.
+        assert all(
+            loc.startswith(("model", "query")) for loc in locations
+        ), locations
+
+    @pytest.mark.parametrize("fixture", [
+        "fitted_resperfnet", "fitted_perfseer", "fitted_prenet",
+    ])
+    def test_cli_exit_contract_per_kind(
+        self, fixture, request, tmp_path, suite_inference_data, capsys
+    ):
+        model = request.getfixturevalue(fixture)
+        data_path = tmp_path / "data.json"
+        suite_inference_data.to_json(data_path)
+        clean_path = tmp_path / "clean.json"
+        save_model(model, clean_path)
+
+        assert main(["audit", str(clean_path)]) == 0
+        assert main([
+            "audit", str(clean_path), "--data", str(data_path)
+        ]) == 0
+
+        doc = json.loads(clean_path.read_text())
+        doc["predictor"]["init_fingerprint"] = "0" * 32
+        bad_path = tmp_path / "tampered.json"
+        bad_path.write_text(json.dumps(doc))
+        assert main([
+            "audit", str(bad_path), "--data", str(data_path)
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "FIT010" in out

@@ -341,3 +341,35 @@ class TestLintDomains:
         with pytest.raises(SystemExit) as exc:
             main(["lint", "--domain", "nonsense"])
         assert exc.value.code == 2
+
+
+class TestLeaderboardCommand:
+    def test_fast_single_scenario_writes_payload(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_leaderboard.json"
+        rc = main([
+            "leaderboard", "--fast", "--scenario", "inference",
+            "--models", "alexnet", "resnet18", "mobilenet_v2",
+            "--predictors", "convmeter", "paleo",
+            "-o", str(out),
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "ConvMeter (paper)" in text
+        assert "PALEO (analytical)" in text
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro/leaderboard-bench/v1"
+        entries = payload["scenarios"]["inference"]["entries"]
+        assert [e["rank"] for e in entries] == [1, 2]
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        rc = main(["leaderboard", "--fast", "--scenario", "nonsense"])
+        assert rc == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_one_model_exits_2(self, capsys):
+        rc = main([
+            "leaderboard", "--fast", "--models", "alexnet",
+            "--scenario", "inference",
+        ])
+        assert rc == 2
+        assert "at least two" in capsys.readouterr().err

@@ -1,0 +1,205 @@
+"""The learned-predictor suite: protocol conformance, differential
+tests against the linear baselines, and persistence round trips.
+
+The differential tests are the honesty harness: each nonlinear stand-in,
+degraded to its documented linear special case, must reproduce what the
+paper's own :class:`~repro.core.regression.LinearModel` computes —
+PerfSeer's identity aggregation solves the *same* least-squares problem
+and must agree to solver precision; the gradient-trained MLPs converge to
+the OLS solution within the documented 1% relative tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ConvMeterPredictor,
+    DippmPredictor,
+    NeuralPowerPredictor,
+    PaleoPredictor,
+    PerfSeer,
+    PreNeT,
+    ResPerfNet,
+    predictor_from_state,
+)
+from repro.baselines.protocol import canonical_records
+from repro.core.features import forward_design
+from repro.core.forward import ForwardModel
+from repro.core.persistence import load_model, save_model
+from repro.core.regression import LinearModel
+
+
+def _suite(target="fwd", seed=5):
+    from tests.conftest import SUITE_MLP_KWARGS
+
+    return [
+        ConvMeterPredictor(target, seed),
+        PaleoPredictor(target, seed),
+        NeuralPowerPredictor(target, seed),
+        DippmPredictor(target, seed),
+        ResPerfNet(target, seed, **SUITE_MLP_KWARGS),
+        PerfSeer(target, seed),
+        PreNeT(target, seed, **SUITE_MLP_KWARGS),
+    ]
+
+
+class TestProtocolConformance:
+    def test_every_member_fits_and_predicts_finite(
+        self, suite_inference_data
+    ):
+        for predictor in _suite():
+            fitted = predictor.fit(suite_inference_data)
+            assert fitted is predictor
+            pred = predictor.predict(suite_inference_data)
+            assert pred.shape == (len(suite_inference_data),)
+            assert np.all(np.isfinite(pred)), predictor.name
+            assert np.all(pred > 0), predictor.name
+
+    def test_every_member_names_its_features(self):
+        for predictor in _suite():
+            names = predictor.feature_names()
+            assert isinstance(names, tuple) and names, predictor.name
+            assert all(isinstance(n, str) for n in names)
+
+    def test_identity_attributes(self):
+        for predictor in _suite(seed=9):
+            assert predictor.seed == 9
+            assert predictor.target == "fwd"
+            assert predictor.name
+
+    def test_paleo_is_forward_only(self):
+        with pytest.raises(ValueError, match="forward"):
+            PaleoPredictor("total", 0)
+
+    def test_unfitted_predict_raises(self, suite_inference_data):
+        for predictor in (
+            ResPerfNet("fwd", 0),
+            PerfSeer("fwd", 0),
+            PreNeT("fwd", 0),
+        ):
+            with pytest.raises(RuntimeError, match="not fitted"):
+                predictor.predict(suite_inference_data)
+
+
+class TestCanonicalOrdering:
+    def test_canonical_records_sorts_stably(self, suite_inference_data):
+        records = list(suite_inference_data)
+        backwards = canonical_records(records[::-1])
+        forwards = canonical_records(records)
+        assert [r.to_dict() for r in backwards] == [
+            r.to_dict() for r in forwards
+        ]
+
+
+class TestDifferential:
+    """Degraded nonlinear predictors must match the linear baselines."""
+
+    def test_perfseer_identity_matches_forward_model_exactly(
+        self, suite_inference_data
+    ):
+        """Identity aggregation rebuilds ConvMeter's forward design, so
+        the readout solves the identical least-squares problem."""
+        seer = PerfSeer("fwd", 0, aggregation="identity")
+        seer.fit(suite_inference_data)
+        forward = ForwardModel().fit(suite_inference_data)
+        ordered = canonical_records(list(suite_inference_data))
+        np.testing.assert_array_equal(
+            seer.predict(ordered), forward.predict(ordered)
+        )
+
+    def test_degraded_resperfnet_converges_to_ols(
+        self, suite_inference_data
+    ):
+        """``features="forward", hidden=0`` is an affine map trained by
+        Adam on the unweighted least-squares objective over exactly
+        ConvMeter's forward design; after enough epochs it must land
+        within 1% of the closed-form OLS solution (the documented
+        tolerance — gradient descent, not a solver)."""
+        mlp = ResPerfNet(
+            "fwd", 0, features="forward", hidden=0,
+            epochs=60000, lr=0.05, patience=0, val_fraction=0.0,
+        )
+        mlp.fit(suite_inference_data)
+        ordered = canonical_records(list(suite_inference_data))
+        ols = LinearModel(weighting="none")
+        ols.fit(forward_design(ordered), np.array([r.t_fwd for r in ordered]))
+        np.testing.assert_allclose(
+            mlp.predict(ordered),
+            ols.predict(forward_design(ordered)),
+            rtol=1e-2,
+        )
+
+    def test_degraded_prenet_converges_to_ols(
+        self, suite_inference_data
+    ):
+        """PreNeT's forward mode derives (F, I, O) from its *own*
+        workload decomposition, so the linear reference is OLS on the
+        same matrix (plus intercept), not ConvMeter's design."""
+        mlp = PreNeT(
+            "fwd", 0, features="forward", hidden=0,
+            epochs=60000, lr=0.05, patience=0, val_fraction=0.0,
+        )
+        mlp.fit(suite_inference_data)
+        ordered = canonical_records(list(suite_inference_data))
+        X = mlp.query_matrix(ordered)
+        design = np.hstack([X, np.ones((X.shape[0], 1))])
+        ols = LinearModel(weighting="none")
+        ols.fit(design, np.array([r.t_fwd for r in ordered]))
+        np.testing.assert_allclose(
+            mlp.predict(ordered), ols.predict(design), rtol=1e-2
+        )
+
+    def test_resperfnet_log_features_nonlinear_in_batch(
+        self, fitted_resperfnet, suite_inference_data
+    ):
+        r = suite_inference_data[0]
+        from dataclasses import replace
+
+        a = fitted_resperfnet.predict([replace(r, batch=8)])[0]
+        b = fitted_resperfnet.predict([replace(r, batch=16)])[0]
+        c = fitted_resperfnet.predict([replace(r, batch=32)])[0]
+        # A linear-in-batch model would satisfy b - a == c - b exactly.
+        assert not np.isclose(b - a, c - b, rtol=1e-9, atol=0.0)
+
+
+class TestPersistenceRoundTrip:
+    @pytest.mark.parametrize("fixture", [
+        "fitted_resperfnet", "fitted_perfseer", "fitted_prenet",
+    ])
+    def test_round_trip_predictions_bit_identical(
+        self, fixture, request, tmp_path, suite_inference_data
+    ):
+        model = request.getfixturevalue(fixture)
+        path = tmp_path / "artifact.json"
+        save_model(model, path)
+        loaded = load_model(path)
+        np.testing.assert_array_equal(
+            loaded.predict(suite_inference_data),
+            model.predict(suite_inference_data),
+        )
+        assert loaded.kind == model.kind
+        assert loaded.to_state() == model.to_state()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            predictor_from_state("florbnet", {})
+
+
+class TestLeaveOneOutHarness:
+    def test_suite_members_race_through_shared_loo(
+        self, suite_inference_data
+    ):
+        from repro.baselines.eval import (
+            evaluate_predictor,
+            predictor_spec,
+        )
+
+        result = evaluate_predictor(
+            suite_inference_data, predictor_spec("convmeter"), "fwd", 0
+        )
+        assert set(result.per_model) == {
+            r.model for r in suite_inference_data
+        }
+        assert np.isfinite(result.pooled.mape)

@@ -178,3 +178,68 @@ class TestRegressionProperties:
         rowb = forward_row(r.features, batch)
         np.testing.assert_allclose(rowb[:-1], batch * row1[:-1])
         assert rowb[-1] == 1.0
+
+
+class TestLearnedPredictorDeterminism:
+    """The suite's honesty floor: every learned predictor is a pure
+    function of (data, seed) — bit-identical replay, enumeration-order
+    independence."""
+
+    @staticmethod
+    def _factories():
+        from repro.baselines import ConvMeterPredictor, PerfSeer, PreNeT
+        from repro.baselines import ResPerfNet
+        from tests.conftest import SUITE_MLP_KWARGS
+
+        return {
+            "convmeter": lambda: ConvMeterPredictor("fwd", seed=3),
+            "resperfnet": lambda: ResPerfNet(
+                "fwd", seed=3, **SUITE_MLP_KWARGS
+            ),
+            "perfseer": lambda: PerfSeer("fwd", seed=3),
+            "prenet": lambda: PreNeT("fwd", seed=3, **SUITE_MLP_KWARGS),
+        }
+
+    @pytest.mark.parametrize(
+        "name", ["convmeter", "resperfnet", "perfseer", "prenet"]
+    )
+    def test_same_seed_twice_is_bit_identical(
+        self, name, suite_inference_data
+    ):
+        make = self._factories()[name]
+        a = make().fit(suite_inference_data)
+        b = make().fit(suite_inference_data)
+        pa = a.predict(suite_inference_data)
+        pb = b.predict(suite_inference_data)
+        assert np.array_equal(pa, pb), f"{name}: same-seed replay differs"
+
+    @pytest.mark.parametrize("name", ["resperfnet", "perfseer", "prenet"])
+    def test_same_seed_state_is_identical(self, name, suite_inference_data):
+        make = self._factories()[name]
+        a = make().fit(suite_inference_data)
+        b = make().fit(suite_inference_data)
+        assert a.to_state() == b.to_state()
+
+    @pytest.mark.parametrize(
+        "name", ["convmeter", "resperfnet", "perfseer", "prenet"]
+    )
+    def test_fit_independent_of_enumeration_order(
+        self, name, suite_inference_data
+    ):
+        from repro.benchdata.records import Dataset
+
+        make = self._factories()[name]
+        rng = np.random.default_rng(1234)
+        shuffled = Dataset(
+            [
+                suite_inference_data[i]
+                for i in rng.permutation(len(suite_inference_data))
+            ]
+        )
+        a = make().fit(suite_inference_data)
+        b = make().fit(shuffled)
+        pa = a.predict(suite_inference_data)
+        pb = b.predict(suite_inference_data)
+        assert np.array_equal(pa, pb), (
+            f"{name}: fit depends on record enumeration order"
+        )

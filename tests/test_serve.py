@@ -768,5 +768,140 @@ class TestGoldenResponse:
         )
 
 
+# -- learned artifacts -------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def learned_registry_dir(
+    tmp_path_factory, suite_inference_data, suite_training_data
+):
+    """A registry holding one artifact of every learned kind."""
+    from repro.baselines import PerfSeer, PreNeT, ResPerfNet
+    from tests.conftest import SUITE_MLP_KWARGS
+
+    root = tmp_path_factory.mktemp("learned-registry")
+    res = ResPerfNet("fwd", seed=7, **SUITE_MLP_KWARGS)
+    res.fit(suite_inference_data)
+    save_model(res, root / "default.json")
+    seer = PerfSeer("fwd", seed=7)
+    seer.fit(suite_inference_data)
+    save_model(seer, root / "seer.json")
+    pre = PreNeT("total", seed=7, **SUITE_MLP_KWARGS)
+    pre.fit(suite_training_data)
+    save_model(pre, root / "prenet-step.json")
+    return root
+
+
+@pytest.fixture(scope="module")
+def learned_server(learned_registry_dir):
+    server, thread = _boot(ModelRegistry(learned_registry_dir))
+    yield server
+    _shutdown(server, thread)
+
+
+class TestLearnedArtifacts:
+    """Nonlinear predictor artifacts served through the same protocol."""
+
+    def test_registry_loads_every_learned_kind(self, learned_registry_dir):
+        registry = ModelRegistry(learned_registry_dir)
+        kinds = {
+            name: registry.get(name).kind for name in registry.names()
+        }
+        assert kinds == {
+            "default": "resperfnet",
+            "seer": "perfseer",
+            "prenet-step": "prenet",
+        }
+        for name in registry.names():
+            assert registry.get(name).describe()["servable"], name
+
+    def test_each_kind_answers_predict(self, learned_server):
+        for model in ("default", "seer", "prenet-step"):
+            status, body = _post(
+                learned_server,
+                {"model": model, "network": "resnet18",
+                 "image": 128, "batch": 8},
+            )
+            assert status == 200, (model, body)
+            pred = body["prediction"]
+            assert pred["t_seconds"] > 0, (model, pred)
+            assert pred["throughput"] > 0
+            assert pred["target"] in ("fwd", "total")
+
+    def test_batched_equals_single(self, learned_server):
+        queries = [
+            {"network": "resnet18", "image": 128, "batch": 8},
+            {"network": "alexnet", "image": 64, "batch": 1},
+        ]
+        _, batched = _post(
+            learned_server, {"model": "default", "queries": queries}
+        )
+        singles = [
+            _post(learned_server, {"model": "default", **q})[1]
+            for q in queries
+        ]
+        for got, single in zip(batched["predictions"], singles):
+            assert got["t_seconds"] == single["prediction"]["t_seconds"]
+
+    def test_extrapolated_query_carries_fit004_warning(
+        self, learned_server
+    ):
+        status, body = _post(
+            learned_server,
+            {"model": "default", "network": "resnet50",
+             "image": 512, "batch": 4096},
+        )
+        assert status == 200
+        warnings = body["prediction"]["warnings"]
+        assert any("FIT004" in w for w in warnings), warnings
+
+    def test_in_domain_query_is_warning_free(self, learned_server):
+        status, body = _post(
+            learned_server,
+            {"model": "default", "network": "resnet18",
+             "image": 128, "batch": 8},
+        )
+        assert status == 200
+        assert body["prediction"]["warnings"] == []
+
+    def test_scaling_query_rejected_for_learned_artifact(
+        self, learned_server
+    ):
+        status, body = _post(
+            learned_server,
+            {"model": "default", "network": "resnet18",
+             "node_counts": [1, 2, 4]},
+        )
+        assert status == 400
+        assert "scaling" in body["error"]
+
+    def test_v1_document_refused_alongside_learned(
+        self, learned_registry_dir, tmp_path
+    ):
+        root = tmp_path / "mixed"
+        shutil.copytree(learned_registry_dir, root)
+        shutil.copy(DATA_DIR / "model_v1.json", root / "legacy.json")
+        registry = ModelRegistry(root)
+        with pytest.raises(RegistryError, match="v1 model document"):
+            registry.get("legacy")
+
+    def test_tampered_learned_artifact_still_loads_with_audit_flag(
+        self, learned_registry_dir, tmp_path
+    ):
+        """Serving trusts the embedded audit block; a tampered artifact
+        reports its audit errors through /healthz rather than refusing
+        outright (the offline `repro audit` gate is the enforcement)."""
+        root = tmp_path / "tampered"
+        root.mkdir()
+        doc = json.loads(
+            (learned_registry_dir / "default.json").read_text()
+        )
+        doc["audit"] = {"errors": 1, "warnings": 0, "diagnostics": []}
+        (root / "default.json").write_text(json.dumps(doc))
+        registry = ModelRegistry(root)
+        entry = registry.get("default")
+        assert entry.audit_errors == 1
+
+
 if __name__ == "__main__":  # pragma: no cover - snapshot regeneration
     print(json.dumps(_golden_response(), indent=2, sort_keys=True))
