@@ -29,6 +29,10 @@ IR007     INFO       unfused BatchNorm present in an inference-profiled
 IR008     ERROR      transform preservation: parameter count and conv
                      FLOPs conserved, output shape identical across a
                      pass pipeline (:func:`verify_transform`)
+IR009     INFO       edge-memory advisory: training the graph at the
+                     campaign's smallest batch exceeds every registered
+                     edge-GPU preset's usable memory (an ``--backend
+                     edge`` campaign would record only OOM points)
 ========  =========  ====================================================
 """
 
@@ -496,6 +500,49 @@ def check_unfused_batchnorm(
         )
 
 
+# -- IR009: edge-memory advisory ----------------------------------------------
+
+
+def check_edge_memory(
+    graph: ComputeGraph,
+    summary: CostSummary | None,
+    min_batch: int = 1,
+) -> Iterator[Diagnostic]:
+    """Advisory: no registered edge-GPU preset can train this graph.
+
+    Checked under the edge backend's memory accounting (reserved carve-out,
+    enlarged workspace) at ``min_batch`` — the smallest batch a campaign
+    would attempt.  When even that fails on every Jetson-class preset, an
+    ``--backend edge`` campaign of this graph records nothing but OOM
+    markers; the advisory says so before the sweep is paid for.  One INFO
+    per graph, like IR007.
+    """
+    from repro.hardware.backend import edge_backends
+    from repro.hardware.roofline import profile_graph
+
+    try:
+        profile = profile_graph(graph)
+    except (ValueError, KeyError, TypeError):
+        # An uncostable graph is IR001-IR004 territory; nothing to add.
+        return
+    backends = edge_backends()
+    if any(b.fits(profile, min_batch, training=True) for b in backends):
+        return
+    need = min(b.training_memory_bytes(profile, min_batch) for b in backends)
+    biggest = max(backends, key=lambda b: b.memory_available())
+    yield Diagnostic(
+        "IR009",
+        Severity.INFO,
+        _loc(graph),
+        f"training at batch {min_batch} needs >= {need / 1e9:.1f} GB; no "
+        f"registered edge preset fits it (largest: {biggest.device.name}, "
+        f"{biggest.memory_available() / 1e9:.1f} GB usable)",
+        hint="an edge campaign (--backend edge) would record every point "
+        "of this configuration as OOM; reduce the image size or pick a "
+        "smaller model",
+    )
+
+
 # -- IR008: transform semantic preservation -----------------------------------
 
 
@@ -611,6 +658,7 @@ IR_RULES: tuple[VerifyRule, ...] = (
     VerifyRule("IR006", "batch-scaling coherence", check_batch_scaling),
     VerifyRule("IR007", "unfused BatchNorm advisory",
                check_unfused_batchnorm),
+    VerifyRule("IR009", "edge-memory advisory", check_edge_memory),
 )
 
 
@@ -618,6 +666,7 @@ def verify_graph(
     graph: ComputeGraph,
     summary: CostSummary | None = None,
     ignore: Iterable[str] = (),
+    edge_batch: int = 1,
 ) -> list[Diagnostic]:
     """Run every IR rule over a graph; most severe findings first.
 
@@ -625,14 +674,19 @@ def verify_graph(
     (for example derived from a :class:`~repro.hardware.roofline.
     CostProfile`) to cross-check against fresh recomputation — the defence
     against stale or corrupted caches.  ``ignore`` suppresses whole rule
-    ids, the verifier's suppression mechanism.
+    ids, the verifier's suppression mechanism.  ``edge_batch`` is the
+    smallest batch size the caller would measure — IR009's coordinate
+    (campaigns pass ``min(spec.batch_sizes)``).
     """
     skip = frozenset(ignore)
     found: list[Diagnostic] = []
     for rule in IR_RULES:
         if rule.rule in skip:
             continue
-        found.extend(rule.check(graph, summary))
+        if rule.rule == "IR009":
+            found.extend(check_edge_memory(graph, summary, edge_batch))
+        else:
+            found.extend(rule.check(graph, summary))
     return sort_diagnostics(found)
 
 

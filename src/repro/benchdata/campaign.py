@@ -73,6 +73,7 @@ def inference_campaign(
     max_seconds: float | None = None,
     workers: int = 0,
     transform: str = "",
+    backend: str = "",
 ) -> Dataset:
     """Measure inference across the sweep grid on one device.
 
@@ -84,6 +85,10 @@ def inference_campaign(
     runtimes actually execute (BatchNorm folded, cheap activations
     absorbed; see :mod:`repro.graph.passes`) — the fused-inference
     workload for fused-vs-raw prediction comparisons.
+
+    ``backend`` selects an execution backend from
+    :data:`repro.hardware.backend.BACKEND_REGISTRY` (``""`` = the default
+    roofline simulator).
     """
     spec = CampaignSpec(
         scenario="inference",
@@ -95,6 +100,7 @@ def inference_campaign(
         reps=reps,
         max_seconds=max_seconds,
         transform=transform,
+        backend=backend,
     )
     return run_campaign(spec, workers=workers).dataset
 
@@ -108,6 +114,7 @@ def training_campaign(
     reps: int = 1,
     max_seconds: float | None = None,
     workers: int = 0,
+    backend: str = "",
 ) -> Dataset:
     """Measure single-device training steps across the sweep grid."""
     spec = CampaignSpec(
@@ -119,6 +126,7 @@ def training_campaign(
         seed=seed,
         reps=reps,
         max_seconds=max_seconds,
+        backend=backend,
     )
     return run_campaign(spec, workers=workers).dataset
 
@@ -133,6 +141,7 @@ def distributed_campaign(
     seed: int = 0,
     reps: int = 1,
     workers: int = 0,
+    backend: str = "",
 ) -> Dataset:
     """Measure distributed training steps across node counts (weak scaling:
     ``batch`` is the per-device mini-batch)."""
@@ -146,6 +155,7 @@ def distributed_campaign(
         reps=reps,
         node_counts=tuple(node_counts),
         gpus_per_node=gpus_per_node,
+        backend=backend,
     )
     return run_campaign(spec, workers=workers).dataset
 

@@ -102,15 +102,30 @@ def engine_cache_stats() -> CacheStats:
 
 
 #: Bounded cache of clean-time grids, keyed by everything the noise-free
-#: components depend on: device, scenario (training adds phases), graph
-#: transform, model identity, and the swept batch sizes.  One entry holds
-#: the whole batch sweep of a ``(model, image_size)`` pair, computed from a
-#: single batched roofline evaluation per phase — so a campaign pays the
-#: per-layer arithmetic once per model, not once per point.
+#: components depend on: device, execution backend, scenario (training adds
+#: phases), graph transform, model identity, and the swept batch sizes.
+#: One entry holds the whole batch sweep of a ``(model, image_size)`` pair,
+#: computed from a single batched roofline evaluation per phase — so a
+#: campaign pays the per-layer arithmetic once per model, not once per
+#: point.
 CLEAN_TIME_CACHE: LRUCache[
-    tuple[str, str, str, str, int, tuple[int, ...]],
+    tuple[str, str, str, str, str, int, tuple[int, ...]],
     dict[int, tuple[float, ...]],
 ] = LRUCache(maxsize=512)
+
+
+def _spec_backend(spec: CampaignSpec):
+    """The spec's :class:`ExecutionBackend`, or ``None`` for the default.
+
+    ``None`` (rather than an explicit :class:`RooflineBackend`) keeps the
+    default construction path identical to the pre-backend engine; every
+    consumer treats ``backend=None`` as the roofline policy.
+    """
+    if not spec.backend:
+        return None
+    from repro.hardware.backend import get_backend
+
+    return get_backend(spec.backend, spec.device)
 
 
 def _clean_time_grid(
@@ -119,6 +134,7 @@ def _clean_time_grid(
     """Cached clean-time components for every batch in the spec's sweep."""
     key = (
         spec.device.name,
+        spec.backend,
         spec.scenario,
         spec.transform,
         point.model,
@@ -127,7 +143,9 @@ def _clean_time_grid(
     )
 
     def build() -> dict[int, tuple[float, ...]]:
-        executor = SimulatedExecutor(spec.device, seed=spec.seed)
+        executor = SimulatedExecutor(
+            spec.device, seed=spec.seed, backend=_spec_backend(spec)
+        )
         return executor.clean_time_grids(
             profile,
             spec.batch_sizes,
@@ -181,6 +199,12 @@ class CampaignSpec:
     #: :func:`repro.graph.passes.resolve_transform`.  Part of the
     #: fingerprint, so fused and raw stores never cross-resume.
     transform: str = ""
+    #: Execution backend name from
+    #: :data:`repro.hardware.backend.BACKEND_REGISTRY`; ``""`` (the
+    #: default) is the historical roofline simulator.  Part of the
+    #: fingerprint when set, so e.g. edge and datacenter stores never
+    #: cross-resume.
+    backend: str = ""
 
     def __post_init__(self) -> None:
         if self.scenario not in SCENARIOS:
@@ -195,6 +219,13 @@ class CampaignSpec:
             from repro.graph.passes import resolve_transform
 
             resolve_transform(self.transform)  # KeyError on unknown passes
+        if self.backend:
+            from repro.hardware.backend import get_backend
+
+            # Builds once to validate the name *and* the device pairing
+            # (e.g. fp16 on a device without fp16 support) at spec
+            # construction, not mid-campaign.
+            get_backend(self.backend, self.device)
 
     def manifest(self) -> dict:
         """JSON-serialisable description, written to the store manifest."""
@@ -210,10 +241,13 @@ class CampaignSpec:
             "node_counts": list(self.node_counts),
             "gpus_per_node": self.gpus_per_node,
         }
-        # Only serialised when set, so every pre-transform store manifest
-        # (and its fingerprint) remains valid for resume.
+        # Only serialised when set, so every pre-transform (and
+        # pre-backend) store manifest and its fingerprint remain valid for
+        # resume.
         if self.transform:
             m["transform"] = self.transform
+        if self.backend:
+            m["backend"] = self.backend
         return m
 
     def fingerprint(self) -> str:
@@ -279,7 +313,7 @@ VERIFY_MODES = ("off", "warn", "strict")
 #: key carries the transform string and the IR007 gate, so raw and fused
 #: sweeps of the same graph cache separate verdicts.
 VERIFY_CACHE: LRUCache[
-    tuple[str, str, int, str, bool], tuple[Diagnostic, ...]
+    tuple[str, str, int, str, bool, int], tuple[Diagnostic, ...]
 ] = LRUCache(maxsize=512)
 
 
@@ -289,6 +323,7 @@ def _verify_graph_cached(
     image_size: int,
     transform: str = "",
     advise_fusion: bool = False,
+    edge_batch: int = 1,
 ) -> tuple[Diagnostic, ...]:
     def build() -> tuple[Diagnostic, ...]:
         # Imported lazily: repro.analysis pulls in repro.core, which imports
@@ -310,7 +345,9 @@ def _verify_graph_cached(
         # inference sweeps; training needs live BatchNorm and a fused sweep
         # already took the advice.
         ignore = () if advise_fusion else ("IR007",)
-        found = list(verify_graph(graph, ignore=ignore))
+        found = list(
+            verify_graph(graph, ignore=ignore, edge_batch=edge_batch)
+        )
         if transform:
             from repro.graph.passes import resolve_transform
 
@@ -319,12 +356,16 @@ def _verify_graph_cached(
             transformed = pipeline.run(graph).graph
             # Both halves of the contract: the rewritten graph is itself a
             # well-formed IR, and the rewrite preserved the semantics.
-            found.extend(verify_graph(transformed, ignore=("IR007",)))
+            # IR009 is skipped on the fused half — one edge-memory advisory
+            # per graph is enough.
+            found.extend(
+                verify_graph(transformed, ignore=("IR007", "IR009"))
+            )
             found.extend(verify_transform(graph, transformed))
         return tuple(sort_diagnostics(found))
 
     return VERIFY_CACHE.get_or_compute(
-        (kind, name, image_size, transform, advise_fusion), build
+        (kind, name, image_size, transform, advise_fusion, edge_batch), build
     )
 
 
@@ -342,11 +383,13 @@ def verify_campaign_graphs(spec: CampaignSpec) -> list[Diagnostic]:
     unique: dict[tuple[str, int], None] = {}
     for point in enumerate_points(spec):
         unique.setdefault((point.model, point.image_size), None)
+    edge_batch = min(spec.batch_sizes)
     found: list[Diagnostic] = []
     for name, image_size in unique:
         found.extend(
             _verify_graph_cached(
-                kind, name, image_size, spec.transform, advise_fusion
+                kind, name, image_size, spec.transform, advise_fusion,
+                edge_batch=edge_batch,
             )
         )
     return sort_diagnostics(found)
@@ -398,28 +441,34 @@ def _gated(
     point: SweepPoint,
     profile: CostProfile,
     clean: tuple[float, ...] | None = None,
-) -> bool:
-    """True when a point is excluded — out of memory or over the runtime
-    budget.  Gating depends only on ``(spec, point)``, never on whether the
-    point is being measured or traced.  ``clean`` supplies the point's
-    grid-cached clean-time components (forward first, backward second for
-    training), which are bit-identical to the per-point computation they
-    replace."""
+) -> str:
+    """Why a point is excluded: ``"oom"`` (does not fit device memory),
+    ``"budget"`` (over the runtime budget), or ``""`` (measurable).
+
+    Gating depends only on ``(spec, point)``, never on whether the point is
+    being measured or traced — which is what makes the per-point OOM
+    markers in the store deterministic across workers and resume splits.
+    ``clean`` supplies the point's grid-cached clean-time components
+    (forward first, backward second for training), which are bit-identical
+    to the per-point computation they replace."""
     training = spec.scenario in ("training", "distributed")
-    if not fits(profile, point.batch, spec.device, training=training):
-        return True
+    backend = _spec_backend(spec)
+    if not fits(
+        profile, point.batch, spec.device, training=training, backend=backend
+    ):
+        return "oom"
     if spec.max_seconds is None or spec.scenario == "distributed":
-        return False
+        return ""
     if clean is not None:
         estimate = clean[0]
         if spec.scenario == "training":
             estimate += clean[1]
-        return estimate > spec.max_seconds
-    executor = SimulatedExecutor(spec.device, seed=spec.seed)
+        return "budget" if estimate > spec.max_seconds else ""
+    executor = SimulatedExecutor(spec.device, seed=spec.seed, backend=backend)
     estimate = executor.forward_time_clean(profile, point.batch)
     if spec.scenario == "training":
         estimate += executor.backward_time_clean(profile, point.batch)
-    return estimate > spec.max_seconds
+    return "budget" if estimate > spec.max_seconds else ""
 
 
 def point_counters(
@@ -451,7 +500,9 @@ def point_counters(
     counters = {"flops": flops, "bytes": nbytes}
     if spec.scenario == "distributed":
         ranks = point.nodes * spec.gpus_per_node
-        grad_bytes = 4.0 * float(
+        backend = _spec_backend(spec)
+        grad_elem_bytes = 4.0 if backend is None else backend.float_bytes
+        grad_bytes = grad_elem_bytes * float(
             profile.param_counts[profile.has_params].sum()
         )
         if ranks > 1 and grad_bytes > 0.0:
@@ -464,13 +515,16 @@ def _measure_point(
     point: SweepPoint,
     tracer: "Tracer | None" = None,
     grid_cache: bool = True,
-) -> tuple[list[TimingRecord], dict[str, float]]:
-    """Measure one sweep point, returning its records and work counters.
+) -> tuple[list[TimingRecord], dict[str, float], str]:
+    """Measure one sweep point: ``(records, counters, gate_status)``.
 
-    Gated points (OOM / budget) return ``([], {})``.  With a ``tracer``,
-    the measurement is additionally wrapped in a ``model`` span with the
-    per-phase/per-layer spans the executor and trainer emit; the recorded
-    values are identical either way.
+    Gated points return ``([], {}, "oom" | "budget")`` — a graceful
+    per-point record of *why* nothing was measured, which the store
+    persists so e.g. an edge-backend campaign maps its OOM frontier
+    instead of crashing.  With a ``tracer``, the measurement is
+    additionally wrapped in a ``model`` span with the per-phase/per-layer
+    spans the executor and trainer emit; the recorded values are identical
+    either way.
 
     ``grid_cache`` (the default) sources the deterministic clean-time
     components from :data:`CLEAN_TIME_CACHE` — one batched roofline
@@ -484,8 +538,10 @@ def _measure_point(
     clean: tuple[float, ...] | None = None
     if grid_cache and spec.scenario != "distributed":
         clean = _clean_time_grid(spec, point, profile).get(point.batch)
-    if _gated(spec, point, profile, clean):
-        return [], {}
+    gate = _gated(spec, point, profile, clean)
+    if gate:
+        return [], {}, gate
+    backend = _spec_backend(spec)
     features = ConvNetFeatures.from_profile(profile)
     tracing = tracer is not None and tracer.enabled
     if tracing:
@@ -502,7 +558,9 @@ def _measure_point(
         )
 
     if spec.scenario in ("inference", "blocks"):
-        executor = SimulatedExecutor(spec.device, seed=spec.seed)
+        executor = SimulatedExecutor(
+            spec.device, seed=spec.seed, backend=backend
+        )
         t = executor.measure_inference(
             profile,
             point.batch,
@@ -523,10 +581,13 @@ def _measure_point(
                 features=features,
                 t_fwd=t,
                 rep=point.rep,
+                backend=spec.backend,
             )
         ]
     elif spec.scenario == "training":
-        executor = SimulatedExecutor(spec.device, seed=spec.seed)
+        executor = SimulatedExecutor(
+            spec.device, seed=spec.seed, backend=backend
+        )
         phases = executor.measure_training_step(
             profile,
             point.batch,
@@ -549,6 +610,7 @@ def _measure_point(
                 t_bwd=phases.backward,
                 t_grad=phases.grad_update,
                 rep=point.rep,
+                backend=spec.backend,
             )
         ]
     else:
@@ -557,7 +619,7 @@ def _measure_point(
             gpus_per_node=spec.gpus_per_node,
             device=spec.device,
         )
-        trainer = DistributedTrainer(cluster, seed=spec.seed)
+        trainer = DistributedTrainer(cluster, seed=spec.seed, backend=backend)
         phases = trainer.measure_step(
             profile, point.batch, rep=point.rep, tracer=tracer
         )
@@ -575,12 +637,13 @@ def _measure_point(
                 t_bwd=phases.backward,
                 t_grad=phases.grad_update,
                 rep=point.rep,
+                backend=spec.backend,
             )
         ]
 
     if tracing:
         tracer.end()
-    return records, point_counters(spec, point, profile)
+    return records, point_counters(spec, point, profile), ""
 
 
 def execute_point(spec: CampaignSpec, point: SweepPoint) -> list[TimingRecord]:
@@ -640,17 +703,20 @@ def _init_worker(spec: CampaignSpec, grid_cache: bool = True) -> None:
 
 def _run_point_task(
     task: tuple[int, SweepPoint]
-) -> tuple[int, str, list[TimingRecord], dict[str, float], CacheStats]:
+) -> tuple[int, str, list[TimingRecord], dict[str, float], CacheStats, str]:
     """Executed inside a pool worker; returns per-point counter and cache
     deltas so the parent can aggregate campaign-wide totals across
     processes."""
     index, point = task
     assert _WORKER_SPEC is not None, "worker pool not initialised"
     before = engine_cache_stats()
-    records, counters = _measure_point(
+    records, counters, gate = _measure_point(
         _WORKER_SPEC, point, grid_cache=_WORKER_GRID_CACHE
     )
-    return index, point.key, records, counters, engine_cache_stats() - before
+    return (
+        index, point.key, records, counters,
+        engine_cache_stats() - before, gate,
+    )
 
 
 # -- driver ------------------------------------------------------------------
@@ -680,6 +746,9 @@ class CampaignStats:
     #: cache hits) — independent of worker count and of whether a trace
     #: was requested.
     counters: dict[str, float] = field(default_factory=dict)
+    #: Points this run gated out for not fitting device memory — the OOM
+    #: frontier an edge-backend campaign maps.
+    n_oom: int = 0
 
     @property
     def points_per_second(self) -> float:
@@ -688,9 +757,10 @@ class CampaignStats:
         return self.n_executed / self.elapsed_seconds
 
     def summary(self) -> str:
+        oom = f", {self.n_oom} OOM" if self.n_oom else ""
         return (
             f"campaign {self.scenario}: {self.n_points} points "
-            f"({self.n_executed} measured, {self.n_restored} restored) "
+            f"({self.n_executed} measured, {self.n_restored} restored{oom}) "
             f"in {self.elapsed_seconds:.2f}s with {self.workers} worker(s) "
             f"— {self.points_per_second:.1f} points/s, "
             f"profile cache {self.cache.summary()}"
@@ -710,6 +780,7 @@ class CampaignStats:
             "cache_misses": self.cache.misses,
             "cache_hit_rate": self.cache.hit_rate,
             "n_verify_errors": self.n_verify_errors,
+            "n_oom": self.n_oom,
             "counters": dict(sorted(self.counters.items())),
         }
 
@@ -764,6 +835,7 @@ def run_campaign(
     results: dict[int, list[TimingRecord]] = {}
     counters: dict[str, float] = {}
     cache_delta = CacheStats()
+    n_oom = 0
     start = time.perf_counter()
     if workers > 1 and pending:
         with ProcessPoolExecutor(
@@ -775,12 +847,13 @@ def run_campaign(
             outcomes = pool.map(_run_point_task, pending, chunksize=chunksize)
             # pool.map yields in submission (= enumeration) order, so the
             # counter floats accumulate identically to a serial run.
-            for index, key, records, point_delta, delta in outcomes:
+            for index, key, records, point_delta, delta, gate in outcomes:
                 results[index] = records
                 merge_counters(counters, point_delta)
                 cache_delta += delta
+                n_oom += gate == "oom"
                 if store is not None:
-                    store.append(key, records)
+                    store.append(key, records, status=gate)
                 if progress is not None:
                     progress(len(results), len(pending))
     else:
@@ -791,14 +864,15 @@ def run_campaign(
         # not by batching points.
         for index, point in pending:
             before = engine_cache_stats()
-            records, point_delta = _measure_point(  # repro-lint: disable=PERF006
+            records, point_delta, gate = _measure_point(  # repro-lint: disable=PERF006
                 spec, point, grid_cache=grid_cache
             )
             cache_delta += engine_cache_stats() - before
             results[index] = records
             merge_counters(counters, point_delta)
+            n_oom += gate == "oom"
             if store is not None:
-                store.append(point.key, records)
+                store.append(point.key, records, status=gate)
             if progress is not None:
                 progress(len(results), len(pending))
     elapsed = time.perf_counter() - start
@@ -825,6 +899,7 @@ def run_campaign(
         cache=cache_delta,
         n_verify_errors=n_verify_errors,
         counters=counters,
+        n_oom=n_oom,
     )
     if store is not None:
         store.finalize(stats)

@@ -56,6 +56,10 @@ class TimingRecord:
     t_bwd: float = 0.0
     t_grad: float = 0.0
     rep: int = 0
+    #: Execution backend the point was measured under; ``""`` is the
+    #: default roofline backend (and is omitted from serialised records,
+    #: so pre-backend datasets remain byte-identical round-trips).
+    backend: str = ""
 
     @property
     def t_total(self) -> float:
@@ -71,7 +75,10 @@ class TimingRecord:
         return self.global_batch / self.t_total
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        d = asdict(self)
+        if not d["backend"]:
+            del d["backend"]
+        return d
 
     @staticmethod
     def from_dict(d: dict) -> "TimingRecord":
@@ -120,6 +127,11 @@ class Dataset:
 
     def for_device(self, device: str) -> "Dataset":
         return self.filter(lambda r: r.device == device)
+
+    def for_backend(self, backend: str) -> "Dataset":
+        """Records measured under one execution backend (``""`` = default)."""
+        name = "" if backend == "roofline" else backend
+        return self.filter(lambda r: r.backend == name)
 
     def models(self) -> list[str]:
         """Distinct model names in first-appearance order."""
@@ -171,7 +183,7 @@ def aggregate_reps(data: Dataset) -> Dataset:
     groups: dict[tuple, list[TimingRecord]] = {}
     for r in data:
         key = (r.model, r.device, r.image_size, r.batch, r.nodes,
-               r.devices, r.scenario)
+               r.devices, r.scenario, r.backend)
         groups.setdefault(key, []).append(r)
     out = Dataset()
     for members in groups.values():

@@ -127,13 +127,23 @@ class CampaignStore:
                 done[entry["key"]] = records
         return done
 
-    def append(self, key: str, records: list[TimingRecord]) -> None:
-        """Log one completed point (empty ``records`` = gated out)."""
+    def append(
+        self, key: str, records: list[TimingRecord], status: str = ""
+    ) -> None:
+        """Log one completed point (empty ``records`` = gated out).
+
+        ``status`` marks *why* a point has no records — ``"oom"`` for
+        memory-gated points (the edge-backend frontier perf4sight maps) or
+        ``"budget"`` for runtime-budget gating.  It is omitted for measured
+        points, so pre-status stores remain byte-identical, and it is
+        deterministic: gating depends only on ``(spec, point)``.
+        """
         if self._handle is None:
             self._handle = self.records_path.open("a")
-        line = json.dumps(
-            {"key": key, "records": [r.to_dict() for r in records]}
-        )
+        entry: dict = {"key": key, "records": [r.to_dict() for r in records]}
+        if status:
+            entry["status"] = status
+        line = json.dumps(entry)
         self._handle.write(line + "\n")
         self._handle.flush()
 

@@ -9,6 +9,8 @@ Mirrors how the paper's tooling would be used operationally::
     repro campaign --scenario inference -o data.json
     repro campaign --scenario inference --workers 8 \
                    --store runs/gpu --resume -o data.json
+    repro devices                              # presets + execution backends
+    repro campaign --scenario training --backend edge -o edge.json
     repro trace alexnet --format chrome -o trace.json
     repro transform resnet18 --diff          # inference fusion pipeline
     repro campaign --scenario training --trace trace.json -o data.json
@@ -49,6 +51,7 @@ from repro.core.epoch import epoch_time, total_training_time
 from repro.core.forward import ForwardModel
 from repro.core.persistence import load_model, save_model
 from repro.core.training import TrainingStepModel
+from repro.hardware.backend import BACKEND_REGISTRY, get_backend
 from repro.hardware.device import DEVICE_PRESETS, get_device
 from repro.hardware.roofline import zoo_profile
 from repro.zoo import available_models, get_entry
@@ -91,21 +94,70 @@ def _cmd_blocks(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_devices(_args: argparse.Namespace) -> int:
+def _cmd_devices(args: argparse.Namespace) -> int:
+    if args.format == "json":
+        import json
+
+        payload = {
+            "devices": [
+                {
+                    "name": name,
+                    "kind": dev.kind,
+                    "peak_flops": dev.peak_flops,
+                    "mem_bandwidth": dev.mem_bandwidth,
+                    "memory_bytes": dev.memory_bytes,
+                    "precision_modes": list(dev.precision_modes),
+                }
+                for name, dev in DEVICE_PRESETS.items()
+            ],
+            "backends": [
+                {
+                    "name": info.name,
+                    "summary": info.summary,
+                    **get_backend(info.name).capabilities(),
+                }
+                for info in BACKEND_REGISTRY.values()
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     print(f"{'name':24s}{'kind':6s}{'peak TFLOP/s':>13s}{'BW GB/s':>9s}"
-          f"{'memory GB':>10s}")
+          f"{'memory GB':>10s}  {'precision'}")
     for name, dev in DEVICE_PRESETS.items():
         print(
             f"{name:24s}{dev.kind:6s}{dev.peak_flops / 1e12:13.1f}"
             f"{dev.mem_bandwidth / 1e9:9.0f}{dev.memory_bytes / 1e9:10.0f}"
+            f"  {','.join(dev.precision_modes)}"
+        )
+    print()
+    print(f"{'backend':10s}{'default device':18s}{'precision':10s}"
+          f"{'eff TFLOP/s':>12s}{'eff GB/s':>9s}{'avail GB':>9s}  summary")
+    for info in BACKEND_REGISTRY.values():
+        caps = get_backend(info.name).capabilities()
+        print(
+            f"{info.name:10s}{caps['device']:18s}{caps['precision']:10s}"
+            f"{caps['peak_flops'] / 1e12:12.1f}"
+            f"{caps['mem_bandwidth'] / 1e9:9.0f}"
+            f"{caps['memory_available_bytes'] / 1e9:9.0f}  {info.summary}"
         )
     return 0
+
+
+def _resolve_device(name: str | None, backend: str):
+    """CLI device resolution: an explicit ``--device`` wins; otherwise the
+    backend's registered default device (so ``--backend edge`` targets the
+    Jetson preset without extra flags), falling back to the A100."""
+    if name is not None:
+        return get_device(name)
+    if backend:
+        return BACKEND_REGISTRY[backend].default_device
+    return get_device("a100-80gb")
 
 
 def _campaign_spec(args: argparse.Namespace) -> CampaignSpec:
     """Build the engine spec an invocation describes (defaults mirror the
     paper's per-scenario sweeps)."""
-    device = get_device(args.device)
+    device = _resolve_device(args.device, args.backend)
     if args.scenario == "blocks":
         # Block campaigns sweep the Table 2 catalogue, not the zoo.
         models: tuple[str, ...] = ()
@@ -127,6 +179,7 @@ def _campaign_spec(args: argparse.Namespace) -> CampaignSpec:
         max_seconds=args.max_seconds,
         node_counts=tuple(args.nodes),
         transform="inference" if args.fuse else "",
+        backend=args.backend,
     )
 
 
@@ -175,7 +228,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     try:
         tracer = trace_model(
             args.model,
-            get_device(args.device),
+            _resolve_device(args.device, args.backend),
             image_size=args.image,
             batch=args.batch,
             phase=args.phase,
@@ -183,6 +236,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             gpus_per_node=args.gpus_per_node,
             seed=args.seed,
             fuse=args.fuse,
+            backend=args.backend,
         )
     except OutOfDeviceMemory as exc:
         print(f"trace: {exc}", file=sys.stderr)
@@ -263,6 +317,15 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     from repro.core.persistence import load_audit_block
 
     data = Dataset.from_json(args.data)
+    if args.backend is not None:
+        data = data.for_backend(args.backend)
+        if not len(data):
+            print(
+                f"fit: no records measured under backend "
+                f"{args.backend or 'roofline'!r} in {args.data}",
+                file=sys.stderr,
+            )
+            return 2
     if args.exclude:
         data = data.excluding_model(args.exclude)
     model = (
@@ -348,6 +411,16 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         pipeline = default_inference_pipeline()
     profile = zoo_profile(args.network, args.image, pipeline)
     features = ConvNetFeatures.from_profile(profile)
+    if args.backend:
+        backend = get_backend(args.backend)
+        training = isinstance(model, TrainingStepModel)
+        if not backend.fits(profile, args.batch, training=training):
+            print(
+                f"warning: configuration exceeds {args.backend} backend "
+                f"memory on {backend.device.name} at batch {args.batch}; "
+                "the prediction extrapolates past what the device could "
+                "measure"
+            )
     for diag in audit_prediction_query(
         model, features, args.batch, args.devices, args.nodes,
         factor=args.domain_factor,
@@ -607,9 +680,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub.add_parser("blocks", help="list the Table 2 block catalogue"
                    ).set_defaults(func=_cmd_blocks)
-    sub.add_parser("devices", help="list device presets").set_defaults(
-        func=_cmd_devices
+    devices = sub.add_parser(
+        "devices",
+        help="list device presets and registered execution backends",
     )
+    devices.add_argument("--format", choices=("text", "json"),
+                         default="text")
+    devices.set_defaults(func=_cmd_devices)
 
     _EXIT_CODES = (
         "exit codes: 0 = clean (warnings allowed), "
@@ -718,8 +795,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("inference", "training", "distributed", "blocks"),
         default="inference",
     )
-    campaign.add_argument("--device", default="a100-80gb",
-                          choices=sorted(DEVICE_PRESETS))
+    campaign.add_argument("--device", default=None,
+                          choices=sorted(DEVICE_PRESETS),
+                          help="hardware preset (default: the backend's "
+                               "default device; a100-80gb for roofline)")
+    campaign.add_argument("--backend", default="",
+                          choices=sorted(BACKEND_REGISTRY),
+                          help="execution backend (see `repro devices`; "
+                               "default: roofline)")
     campaign.add_argument("--models", nargs="*", default=None)
     campaign.add_argument("--nodes", nargs="*", type=int,
                           default=(1, 2, 4, 8),
@@ -760,8 +843,13 @@ def build_parser() -> argparse.ArgumentParser:
                "fit device memory, 2 = unknown model",
     )
     trace.add_argument("model", help="zoo model name (see `repro models`)")
-    trace.add_argument("--device", default="a100-80gb",
-                       choices=sorted(DEVICE_PRESETS))
+    trace.add_argument("--device", default=None,
+                       choices=sorted(DEVICE_PRESETS),
+                       help="hardware preset (default: the backend's "
+                            "default device; a100-80gb for roofline)")
+    trace.add_argument("--backend", default="",
+                       choices=sorted(BACKEND_REGISTRY),
+                       help="execution backend (see `repro devices`)")
     trace.add_argument("--image", type=int, default=224,
                        help="square image size (clamped up to the model's "
                             "minimum)")
@@ -796,6 +884,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "fix)")
     fit.add_argument("--exclude", default=None,
                      help="hold out one model (leave-one-out)")
+    fit.add_argument("--backend", default=None,
+                     choices=sorted(BACKEND_REGISTRY),
+                     help="fit only records measured under this backend "
+                          "(default: use every record)")
     fit.add_argument("--audit", choices=("warn", "strict", "off"),
                      default="warn",
                      help="fitted-model audit gate: warn embeds the audit "
@@ -819,6 +911,10 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--fuse", action="store_true",
                          help="predict from the fused inference graph's "
                               "metric vector")
+    predict.add_argument("--backend", default="",
+                         choices=sorted(BACKEND_REGISTRY),
+                         help="warn when the configuration would not fit "
+                              "this backend's memory accounting")
     predict.set_defaults(func=_cmd_predict)
 
     serve = sub.add_parser(

@@ -100,6 +100,7 @@ def hierarchical_all_reduce_time(
     gpus_per_node: int,
     intra: Interconnect,
     inter: Interconnect,
+    node_intra: "tuple[Interconnect, ...]" = (),
 ) -> float:
     """Cost of NCCL-style hierarchical all-reduce.
 
@@ -108,19 +109,32 @@ def hierarchical_all_reduce_time(
     fabric on each node's 1/g shard, (3) intra-node all-gather.  For small
     payloads or many GPUs per node this beats the flat ring, whose every
     step is bound by the inter-node fabric.
+
+    ``node_intra`` gives each node its own intra-node fabric (mixed
+    interconnects, the heterogeneous-cluster scenario).  The collective is
+    synchronous, so phases 1 and 3 end only when the node with the slowest
+    fabric finishes its local reduce-scatter / all-gather.
     """
     if nodes < 1 or gpus_per_node < 1:
         raise ValueError("need at least one node and one GPU")
+    if node_intra and len(node_intra) != nodes:
+        raise ValueError(
+            f"node_intra lists {len(node_intra)} fabric(s) for {nodes} "
+            f"node(s)"
+        )
     total_ranks = nodes * gpus_per_node
     if total_ranks == 1:
         return 0.0
     g = gpus_per_node
     # Phase 1 + 3: reduce-scatter and all-gather inside the node — each
-    # moves (g-1)/g of the payload over g-1 latency steps.
+    # moves (g-1)/g of the payload over g-1 latency steps.  The phases run
+    # per node concurrently and barrier, so the slowest fabric bounds them.
     intra_time = 0.0
     if g > 1:
-        per_phase = (g - 1) * intra.latency + (
-            (g - 1) / g * nbytes / intra.bandwidth
+        links = node_intra if node_intra else (intra,)
+        per_phase = max(
+            (g - 1) * link.latency + ((g - 1) / g * nbytes / link.bandwidth)
+            for link in links
         )
         intra_time = 2.0 * per_phase
     # Phase 2: leaders ring-all-reduce their 1/g shard across nodes.

@@ -10,10 +10,17 @@ from repro.hardware.device import A100_80GB, DeviceSpec
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """Homogeneous cluster: ``nodes`` hosts with ``gpus_per_node`` devices.
+    """Cluster of ``nodes`` hosts with ``gpus_per_node`` devices each.
 
     Mirrors the paper's testbed (GPU nodes with four A100s, NVLink inside a
-    node, 4×HDR-200 InfiniBand between nodes).
+    node, 4×HDR-200 InfiniBand between nodes).  By default the cluster is
+    homogeneous — every node runs ``device`` over ``intra_node`` — but
+    ``node_devices`` (and optionally ``node_intra``) give each node its own
+    device type and intra-node fabric, the heterogeneous scenario the
+    backend refactor opens.
+
+    All shape and membership errors surface here as ``ValueError`` at
+    construction, not as downstream shape mismatches mid-simulation.
     """
 
     nodes: int = 1
@@ -21,14 +28,73 @@ class ClusterSpec:
     device: DeviceSpec = A100_80GB
     intra_node: Interconnect = NVLINK3
     inter_node: Interconnect = IB_HDR200_X4
+    #: Per-node device types; empty means every node runs ``device``.
+    node_devices: tuple[DeviceSpec, ...] = ()
+    #: Per-node intra-node fabrics; empty means every node uses
+    #: ``intra_node``.
+    node_intra: tuple[Interconnect, ...] = ()
 
     def __post_init__(self) -> None:
+        for label, value in (("nodes", self.nodes),
+                             ("gpus_per_node", self.gpus_per_node)):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError(
+                    f"{label} must be an integer, got {value!r}"
+                )
         if self.nodes < 1 or self.gpus_per_node < 1:
             raise ValueError("cluster needs at least one node and one GPU")
+        if not isinstance(self.device, DeviceSpec):
+            raise ValueError(
+                f"device must be a DeviceSpec, got {self.device!r}"
+            )
+        # Accept any sequence for the per-node fields; store as tuples so
+        # the spec stays hashable.
+        object.__setattr__(self, "node_devices", tuple(self.node_devices))
+        object.__setattr__(self, "node_intra", tuple(self.node_intra))
+        if self.node_devices:
+            if len(self.node_devices) != self.nodes:
+                raise ValueError(
+                    f"node_devices lists {len(self.node_devices)} device(s) "
+                    f"for {self.nodes} node(s)"
+                )
+            for i, dev in enumerate(self.node_devices):
+                if not isinstance(dev, DeviceSpec):
+                    raise ValueError(
+                        f"node_devices[{i}] must be a DeviceSpec, got {dev!r}"
+                    )
+        if self.node_intra:
+            if len(self.node_intra) != self.nodes:
+                raise ValueError(
+                    f"node_intra lists {len(self.node_intra)} fabric(s) "
+                    f"for {self.nodes} node(s)"
+                )
+            for i, link in enumerate(self.node_intra):
+                if not isinstance(link, Interconnect):
+                    raise ValueError(
+                        f"node_intra[{i}] must be an Interconnect, "
+                        f"got {link!r}"
+                    )
 
     @property
     def total_devices(self) -> int:
         return self.nodes * self.gpus_per_node
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Whether any per-node device or fabric override is in effect."""
+        return bool(self.node_devices) or bool(self.node_intra)
+
+    def device_for_node(self, node: int) -> DeviceSpec:
+        return self.node_devices[node] if self.node_devices else self.device
+
+    def distinct_devices(self) -> tuple[DeviceSpec, ...]:
+        """The unique node device types, in first-appearance order."""
+        if not self.node_devices:
+            return (self.device,)
+        seen: dict[str, DeviceSpec] = {}
+        for dev in self.node_devices:
+            seen.setdefault(dev.name, dev)
+        return tuple(seen.values())
 
     @property
     def ring_link(self) -> Interconnect:
@@ -36,17 +102,40 @@ class ClusterSpec:
 
         A ring across several nodes must cross the inter-node fabric, whose
         bandwidth bounds every step of the collective; within one node the
-        ring runs entirely over NVLink.
+        ring runs entirely over the node's own fabric.
         """
-        return self.intra_node if self.nodes == 1 else self.inter_node
+        if self.nodes == 1:
+            return self.node_intra[0] if self.node_intra else self.intra_node
+        return self.inter_node
 
     def describe(self) -> str:
+        if self.node_devices:
+            per_node = ", ".join(d.name for d in self.node_devices)
+            return (
+                f"{self.nodes} node(s) × {self.gpus_per_node} [{per_node}] "
+                f"(inter: {self.inter_node.name})"
+            )
         return (
             f"{self.nodes} node(s) × {self.gpus_per_node} × {self.device.name} "
             f"(intra: {self.intra_node.name}, inter: {self.inter_node.name})"
         )
 
 
-def single_gpu_cluster(device: DeviceSpec = A100_80GB) -> ClusterSpec:
-    """A one-device 'cluster' — the paper's single-GPU training scenario."""
+def single_gpu_cluster(
+    device: DeviceSpec = A100_80GB, backend=None
+) -> ClusterSpec:
+    """A one-device 'cluster' — the paper's single-GPU training scenario.
+
+    Backend-aware: given an :class:`~repro.hardware.backend.ExecutionBackend`
+    the cluster adopts the backend's bound device, so
+    ``single_gpu_cluster(backend=get_backend("edge"))`` trains on the
+    backend's Jetson preset without naming it twice.
+    """
+    if backend is not None:
+        if device is not A100_80GB and device != backend.device:
+            raise ValueError(
+                f"device {device.name!r} disagrees with backend device "
+                f"{backend.device.name!r}; pass one or the other"
+            )
+        device = backend.device
     return ClusterSpec(nodes=1, gpus_per_node=1, device=device)

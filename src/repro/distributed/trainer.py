@@ -12,6 +12,16 @@ The phase times reported mirror what the paper measures: the gradient-update
 phase is the part of communication + optimizer work *not hidden* behind the
 backward pass, which is why the paper fits backward and gradient update
 jointly (Section 3.3).
+
+Execution is backend-pluggable: the trainer accepts an
+:class:`~repro.hardware.backend.ExecutionBackend` and applies it across the
+cluster, and a :class:`ClusterSpec` with ``node_devices`` simulates a
+*heterogeneous* cluster.  Synchronous data parallelism makes every phase a
+barrier, so mixed device types follow straggler semantics: each compute
+phase (and each backward layer, whose gradient cannot be all-reduced before
+every rank has produced it) completes when the slowest node type finishes.
+For a homogeneous cluster the straggler maximum ranges over one device type
+and the timeline is bit-identical to the pre-backend code.
 """
 
 from __future__ import annotations
@@ -31,18 +41,16 @@ from repro.distributed.fusion import (
     FusionBucket,
     fuse_tensors,
 )
+from repro.hardware.backend import ExecutionBackend, RooflineBackend
 from repro.hardware.executor import (
     PhaseTimes,
     SimulatedExecutor,
     _BWD_BYTES_FACTOR,
-    _BWD_FLOPS_OTHER,
-    _BWD_FLOPS_PARAM,
     _OPT_BYTES_PER_PARAM,
     _OPT_FLOPS_PER_PARAM,
 )
-from repro.hardware.memory import check_fits
 from repro.hardware.noise import lognormal_factor, lognormal_vector, point_seed
-from repro.hardware.roofline import CostProfile, layer_times
+from repro.hardware.roofline import CostProfile
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.trace.tracer import Tracer
@@ -94,14 +102,30 @@ class DistributedTrainer:
         seed: int = 0,
         fusion_threshold: float = DEFAULT_FUSION_THRESHOLD,
         algorithm: str = "ring",
+        backend: ExecutionBackend | None = None,
     ) -> None:
         if algorithm not in ("ring", "hierarchical"):
             raise ValueError(f"unknown all-reduce algorithm {algorithm!r}")
+        if backend is not None and backend.device != cluster.device:
+            raise ValueError(
+                f"backend device {backend.device.name!r} disagrees with "
+                f"cluster device {cluster.device.name!r}"
+            )
         self.cluster = cluster
         self.seed = seed
         self.fusion_threshold = fusion_threshold
         self.algorithm = algorithm
-        self.executor = SimulatedExecutor(cluster.device, seed=seed)
+        self.backend = (
+            backend if backend is not None else RooflineBackend(cluster.device)
+        )
+        # One backend per distinct node device type, the primary first —
+        # the same backend policy bound to each node's silicon.
+        self._node_backends: tuple[ExecutionBackend, ...] = tuple(
+            self.backend if dev == cluster.device
+            else self.backend.for_device(dev)
+            for dev in cluster.distinct_devices()
+        )
+        self.executor = SimulatedExecutor(seed=seed, backend=self.backend)
 
     def _all_reduce_time(self, nbytes: float) -> float:
         """Noise-free collective time for one fused bucket."""
@@ -112,6 +136,7 @@ class DistributedTrainer:
                 self.cluster.gpus_per_node,
                 self.cluster.intra_node,
                 self.cluster.inter_node,
+                node_intra=self.cluster.node_intra,
             )
         return ring_all_reduce_time(
             nbytes, self.cluster.total_devices, self.cluster.ring_link
@@ -125,10 +150,10 @@ class DistributedTrainer:
         n = self.cluster.total_devices
         return base * (1.0 + 0.35 * np.log2(max(1, n)))
 
-    def _noise(self, sigma: float, *identity: object) -> float:
+    def _noise(self, sigma: float, *identity: object, tag: str = "") -> float:
         seed = point_seed(
             self.seed,
-            self.cluster.device.name,
+            tag or self.backend.noise_tag,
             self.cluster.nodes,
             self.cluster.gpus_per_node,
             *identity,
@@ -149,16 +174,16 @@ class DistributedTrainer:
 
         With a ``tracer``, emits the step's timeline as spans for one
         representative rank (synchronous data parallelism makes the ranks
-        symmetric): ``forward`` / ``backward`` / ``grad_update`` compute
-        phases with per-layer children, plus one ``comm``-track span per
-        fused all-reduce placed at its true offset, overlapping the
-        backward sweep exactly as the simulated schedule does.
+        symmetric up to straggler barriers): ``forward`` / ``backward`` /
+        ``grad_update`` compute phases with per-layer children, plus one
+        ``comm``-track span per fused all-reduce placed at its true offset,
+        overlapping the backward sweep exactly as the simulated schedule
+        does.
         """
+        backends = self._node_backends
         if enforce_memory:
-            check_fits(
-                profile, per_device_batch, self.cluster.device, training=True
-            )
-        device = self.cluster.device
+            for b in backends:
+                b.check_fits(profile, per_device_batch, training=True)
         n_ranks = self.cluster.total_devices
         name = profile.graph_name
         tracing = tracer is not None and tracer.enabled
@@ -166,38 +191,51 @@ class DistributedTrainer:
         # placed at explicit offsets and must not assume they start at 0.
         origin = tracer.elapsed() if tracing else 0.0
 
-        fwd_sigma = self._sync_sigma(device.noise_sigma)
-        fwd_noise = self._noise(fwd_sigma, name, per_device_batch, "fwd", rep)
-        fwd = self.executor.forward_time_clean(
-            profile, per_device_batch
-        ) * fwd_noise
+        # Forward barrier: every rank must deliver its mini-batch before
+        # gradients exist, so the slowest node type sets the phase time.
+        fwd = 0.0
+        fwd_noise = 1.0
+        for b in backends:
+            b_noise = self._noise(
+                self._sync_sigma(b.noise_sigma),
+                name, per_device_batch, "fwd", rep,
+                tag=b.noise_tag,
+            )
+            b_fwd = b.forward_time_clean(profile, per_device_batch) * b_noise
+            if b_fwd >= fwd:
+                fwd, fwd_noise = b_fwd, b_noise
         if tracing:
             self.executor._trace_phase(
                 tracer, "forward", profile, per_device_batch, fwd_noise, fwd
             )
 
         # Per-layer backward times, swept in reverse topological order.
-        flops_factor = np.where(
-            profile.has_params, _BWD_FLOPS_PARAM, _BWD_FLOPS_OTHER
-        )
-        bwd_layer_times = layer_times(
-            profile,
-            per_device_batch,
-            device,
-            flops_factor=flops_factor,
-            bytes_factor=_BWD_BYTES_FACTOR,
-        )[::-1]
-        bwd_noise = lognormal_vector(
-            self._sync_sigma(device.noise_sigma),
-            bwd_layer_times.size,
-            point_seed(
-                self.seed, device.name, n_ranks, name, per_device_batch,
-                "bwd-layers", rep,
-            ),
-        )
-        bwd_layer_times = bwd_layer_times * bwd_noise
+        # Each layer's gradient is cluster-complete only when the slowest
+        # node type finishes that layer, so mixed clusters take the
+        # element-wise maximum of the per-device noisy sweeps.
+        flops_factor = self.backend.backward_flops_factor(profile)
+        bwd_layer_times = None
+        for b in backends:
+            layer_noisy = b.layer_times(
+                profile,
+                per_device_batch,
+                flops_factor=flops_factor,
+                bytes_factor=_BWD_BYTES_FACTOR,
+            )[::-1] * lognormal_vector(
+                self._sync_sigma(b.noise_sigma),
+                profile.n_layers,
+                point_seed(
+                    self.seed, b.noise_tag, n_ranks, name, per_device_batch,
+                    "bwd-layers", rep,
+                ),
+            )
+            bwd_layer_times = (
+                layer_noisy if bwd_layer_times is None
+                else np.maximum(bwd_layer_times, layer_noisy)
+            )
         completion = np.cumsum(bwd_layer_times)
-        bwd_end = float(completion[-1]) + device.base_overhead
+        base_overhead = max(b.device.base_overhead for b in backends)
+        bwd_end = float(completion[-1]) + base_overhead
         if tracing:
             from repro.trace.tracer import record_layer_phase
 
@@ -217,12 +255,16 @@ class DistributedTrainer:
 
         # Gradient tensors become ready as their layer's backward completes.
         grad_mask = profile.has_params[::-1]
-        grad_sizes = (profile.param_counts[::-1][grad_mask] * 4.0).tolist()
+        grad_sizes = (
+            profile.param_counts[::-1][grad_mask] * self.backend.float_bytes
+        ).tolist()
         grad_ready = completion[grad_mask].tolist()
 
         buckets: list[BucketTrace] = []
         comm_end = bwd_end
-        optimizer_time = self.executor.grad_update_time_clean(profile)
+        optimizer_time = max(
+            b.grad_update_time_clean(profile) for b in backends
+        )
 
         if n_ranks > 1 and grad_sizes:
             link = self.cluster.ring_link
@@ -245,8 +287,15 @@ class DistributedTrainer:
             comm_end = max(bwd_end, comm_cursor)
 
         exposed_comm = max(0.0, comm_end - bwd_end)
-        opt_noisy = optimizer_time * self._noise(
-            device.noise_sigma, name, per_device_batch, "opt", rep
+        # Optimizer barrier: the step ends when the slowest node type has
+        # applied its update.
+        opt_noisy = max(
+            b.grad_update_time_clean(profile)
+            * self._noise(
+                b.noise_sigma, name, per_device_batch, "opt", rep,
+                tag=b.noise_tag,
+            )
+            for b in backends
         )
         grad_phase = exposed_comm + opt_noisy
 

@@ -9,6 +9,13 @@ Set ``REPRO_CAMPAIGN_WORKERS=N`` to fan campaign generation out over N
 worker processes (the benchmark harness exposes this as
 ``--campaign-workers``).  Records are byte-identical to serial runs, so
 every experiment artefact is unchanged — only the wall clock moves.
+
+Set ``REPRO_CAMPAIGN_BACKEND=<name>`` to re-run the GPU-device experiment
+campaigns under a registered execution backend (``edge``, ``fp16``, … —
+see ``repro devices``).  Unset, everything is measured by the default
+roofline backend, bit-identical to the pre-backend corpus.  The
+single-CPU-core inference campaign always stays on the default backend:
+the GPU-flavoured backends reject CPU presets by construction.
 """
 
 from __future__ import annotations
@@ -59,16 +66,24 @@ def campaign_workers() -> int:
         return 0
 
 
+def campaign_backend() -> str:
+    """Execution backend for the GPU experiment campaigns ("" = roofline)."""
+    name = os.environ.get("REPRO_CAMPAIGN_BACKEND", "")
+    return "" if name == "roofline" else name
+
+
 #: One cached dataset per scenario (the five functions below), bounded and
 #: observable — `repro lint` bans unbounded ``functools.lru_cache`` repo-wide.
 DATASET_CACHE: LRUCache[str, Dataset] = LRUCache(maxsize=8)
 
 
 def gpu_inference_data() -> Dataset:
+    backend = campaign_backend()
     return DATASET_CACHE.get_or_compute(
-        "gpu-inference",
+        f"gpu-inference:{backend}",
         lambda: inference_campaign(
-            device=GPU, seed=SEED_INFERENCE_GPU, workers=campaign_workers()
+            device=GPU, seed=SEED_INFERENCE_GPU, workers=campaign_workers(),
+            backend=backend,
         ),
     )
 
@@ -93,23 +108,27 @@ def block_data() -> Dataset:
 
 
 def training_data() -> Dataset:
+    backend = campaign_backend()
     return DATASET_CACHE.get_or_compute(
-        "training",
+        f"training:{backend}",
         lambda: training_campaign(
-            device=GPU, seed=SEED_TRAINING, workers=campaign_workers()
+            device=GPU, seed=SEED_TRAINING, workers=campaign_workers(),
+            backend=backend,
         ),
     )
 
 
 def distributed_data() -> Dataset:
+    backend = campaign_backend()
     return DATASET_CACHE.get_or_compute(
-        "distributed",
+        f"distributed:{backend}",
         lambda: distributed_campaign(
             node_counts=NODE_COUNTS,
             gpus_per_node=GPUS_PER_NODE,
             device=GPU,
             seed=SEED_DISTRIBUTED,
             workers=campaign_workers(),
+            backend=backend,
         ),
     )
 

@@ -13,9 +13,19 @@ from repro.hardware.device import (
     DEVICE_PRESETS,
     EPYC_7402_CORE,
     JETSON_ORIN,
+    JETSON_ORIN_NANO,
+    JETSON_XAVIER_NX,
     XEON_GOLD_5318Y_CORE,
     DeviceSpec,
     get_device,
+)
+from repro.hardware.backend import (
+    BACKEND_REGISTRY,
+    EdgeGpuBackend,
+    ExecutionBackend,
+    MixedPrecisionBackend,
+    RooflineBackend,
+    get_backend,
 )
 from repro.hardware.roofline import CostProfile, layer_times, profile_graph
 from repro.hardware.memory import (
@@ -31,8 +41,16 @@ __all__ = [
     "XEON_GOLD_5318Y_CORE",
     "EPYC_7402_CORE",
     "JETSON_ORIN",
+    "JETSON_ORIN_NANO",
+    "JETSON_XAVIER_NX",
     "DEVICE_PRESETS",
     "get_device",
+    "ExecutionBackend",
+    "RooflineBackend",
+    "EdgeGpuBackend",
+    "MixedPrecisionBackend",
+    "BACKEND_REGISTRY",
+    "get_backend",
     "CostProfile",
     "profile_graph",
     "layer_times",

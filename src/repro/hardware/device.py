@@ -39,6 +39,9 @@ class DeviceSpec:
     base_overhead: float
     #: Log-normal sigma of the measurement noise.
     noise_sigma: float
+    #: Numeric formats the hardware executes natively; gates which
+    #: mixed-precision backends accept the device.
+    precision_modes: tuple[str, ...] = ("fp32",)
 
     def scaled(
         self,
@@ -88,6 +91,7 @@ A100_80GB = DeviceSpec(
     sat_bytes=1.5e6,
     base_overhead=30e-6,
     noise_sigma=0.06,
+    precision_modes=("fp32", "fp16", "bf16"),
 )
 
 #: One core of an Intel Xeon Gold 5318Y (Ice Lake, 2.1 GHz, AVX-512).
@@ -132,12 +136,43 @@ JETSON_ORIN = DeviceSpec(
     sat_bytes=4.0e5,
     base_overhead=50e-6,
     noise_sigma=0.09,
+    precision_modes=("fp32", "fp16", "bf16"),
+)
+
+#: Jetson Xavier NX: Volta-class edge module, 8 GB shared LPDDR4x.
+JETSON_XAVIER_NX = DeviceSpec(
+    name="jetson-xavier-nx",
+    kind="gpu",
+    peak_flops=0.84e12,
+    mem_bandwidth=59.7e9,
+    launch_overhead=7.0e-6,
+    memory_bytes=8e9,
+    sat_flops=2.0e6,
+    sat_bytes=2.0e5,
+    base_overhead=60e-6,
+    noise_sigma=0.10,
+    precision_modes=("fp32", "fp16"),
+)
+
+#: Jetson Orin Nano: the smallest Orin-family module, 8 GB shared LPDDR5.
+JETSON_ORIN_NANO = DeviceSpec(
+    name="jetson-orin-nano",
+    kind="gpu",
+    peak_flops=0.64e12,
+    mem_bandwidth=68e9,
+    launch_overhead=7.0e-6,
+    memory_bytes=8e9,
+    sat_flops=2.0e6,
+    sat_bytes=2.0e5,
+    base_overhead=60e-6,
+    noise_sigma=0.10,
+    precision_modes=("fp32", "fp16", "bf16"),
 )
 
 DEVICE_PRESETS: dict[str, DeviceSpec] = {
     spec.name: spec
     for spec in (A100_80GB, XEON_GOLD_5318Y_CORE, EPYC_7402_CORE,
-                 JETSON_ORIN)
+                 JETSON_ORIN, JETSON_XAVIER_NX, JETSON_ORIN_NANO)
 }
 
 

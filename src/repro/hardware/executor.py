@@ -4,6 +4,12 @@ Produces the "measured" runtimes the campaign records: inference time and
 the three training-step phases of Figure 1 (forward pass, backward pass,
 weight/gradient update) on one device.  Distributed runs build on this via
 :mod:`repro.distributed.trainer`.
+
+Since the backend refactor this class is a thin facade: all platform policy
+— timing formulas, memory accounting, noise streams — lives in an
+:class:`~repro.hardware.backend.ExecutionBackend`.  Constructed with a bare
+:class:`DeviceSpec` it wraps the default :class:`RooflineBackend`, which is
+bit-identical to the pre-backend behavior.
 """
 
 from __future__ import annotations
@@ -14,29 +20,32 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.graph.graph import ComputeGraph
+from repro.hardware.backend import (
+    ExecutionBackend,
+    RooflineBackend,
+    _BWD_BYTES_FACTOR,
+    _BWD_FLOPS_OTHER,
+    _BWD_FLOPS_PARAM,
+    _OPT_BYTES_PER_PARAM,
+    _OPT_FLOPS_PER_PARAM,
+    _OPT_KERNELS_PER_TENSOR,
+)
 from repro.hardware.device import DeviceSpec
-from repro.hardware.memory import check_fits
-from repro.hardware.noise import lognormal_factor, point_seed
-from repro.hardware.roofline import CostProfile, layer_times, profile_graph
+from repro.hardware.roofline import CostProfile, profile_graph
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.trace.tracer import Tracer
 
-#: Backward FLOPs of a parametric layer ≈ 2× forward (input-gradient plus
-#: weight-gradient GEMMs); non-parametric layers only propagate gradients.
-_BWD_FLOPS_PARAM = 2.0
-_BWD_FLOPS_OTHER = 1.0
-
-#: Backward activation traffic: read stored activations and gradients, write
-#: gradients — roughly double the forward traffic.
-_BWD_BYTES_FACTOR = 2.0
-
-#: Adam update: ~10 FLOPs and ~16 bytes of state traffic per parameter.
-_OPT_FLOPS_PER_PARAM = 10.0
-_OPT_BYTES_PER_PARAM = 16.0
-
-#: Kernels launched per parameter tensor during the optimizer step.
-_OPT_KERNELS_PER_TENSOR = 2.0
+__all__ = [
+    "PhaseTimes",
+    "SimulatedExecutor",
+    "_BWD_BYTES_FACTOR",
+    "_BWD_FLOPS_OTHER",
+    "_BWD_FLOPS_PARAM",
+    "_OPT_BYTES_PER_PARAM",
+    "_OPT_FLOPS_PER_PARAM",
+    "_OPT_KERNELS_PER_TENSOR",
+]
 
 
 @dataclass(frozen=True)
@@ -58,10 +67,25 @@ class PhaseTimes:
 
 
 class SimulatedExecutor:
-    """Runs graphs on one simulated device and reports noisy timings."""
+    """Runs graphs on one simulated backend and reports noisy timings."""
 
-    def __init__(self, device: DeviceSpec, seed: int = 0) -> None:
-        self.device = device
+    def __init__(
+        self,
+        device: DeviceSpec | None = None,
+        seed: int = 0,
+        backend: ExecutionBackend | None = None,
+    ) -> None:
+        if backend is None:
+            if device is None:
+                raise ValueError("need a device or a backend")
+            backend = RooflineBackend(device)
+        elif device is not None and device != backend.device:
+            raise ValueError(
+                f"device {device.name!r} disagrees with backend device "
+                f"{backend.device.name!r}; pass one or the other"
+            )
+        self.backend = backend
+        self.device = backend.device
         self.seed = seed
 
     # -- profile plumbing ----------------------------------------------------
@@ -72,49 +96,23 @@ class SimulatedExecutor:
     def _noise(self, *identity: object) -> float:
         # Seeded purely by the measurement identity (never call order), so
         # parallel and resumed campaigns reproduce serial timings exactly.
-        seed = point_seed(self.seed, self.device.name, *identity)
-        return lognormal_factor(self.device.noise_sigma, seed)
+        # The backend contributes its noise tag — the bare device name for
+        # the default roofline backend, preserving the historical stream.
+        return self.backend.noise_factor(self.seed, *identity)
 
     # -- noise-free components ---------------------------------------------
 
     def forward_time_clean(self, profile: CostProfile, batch: int) -> float:
         """Deterministic forward-pass time (also the inference time)."""
-        times = layer_times(profile, batch, self.device)
-        return float(times.sum()) + self.device.base_overhead
+        return self.backend.forward_time_clean(profile, batch)
 
     def backward_time_clean(self, profile: CostProfile, batch: int) -> float:
         """Deterministic backward-pass time."""
-        flops_factor = np.where(
-            profile.has_params, _BWD_FLOPS_PARAM, _BWD_FLOPS_OTHER
-        )
-        times = layer_times(
-            profile,
-            batch,
-            self.device,
-            flops_factor=flops_factor,
-            bytes_factor=_BWD_BYTES_FACTOR,
-        )
-        return float(times.sum()) + self.device.base_overhead
+        return self.backend.backward_time_clean(profile, batch)
 
     def grad_update_time_clean(self, profile: CostProfile) -> float:
-        """Deterministic single-device optimizer (Adam) step time.
-
-        Per-tensor kernel launches dominate for deep networks, which is why
-        the paper models the N=1 gradient update as ``c1 · L``.
-        """
-        params = profile.param_counts[profile.has_params]
-        if params.size == 0:
-            return self.device.base_overhead
-        launch = (
-            _OPT_KERNELS_PER_TENSOR * params.size * self.device.launch_overhead
-        )
-        traffic = _OPT_BYTES_PER_PARAM * float(params.sum())
-        compute = _OPT_FLOPS_PER_PARAM * float(params.sum())
-        stream = max(
-            traffic / (self.device.mem_bandwidth * 0.8),
-            compute / (self.device.peak_flops * 0.05),
-        )
-        return launch + stream + self.device.base_overhead
+        """Deterministic single-device optimizer (Adam) step time."""
+        return self.backend.grad_update_time_clean(profile)
 
     def clean_time_grids(
         self,
@@ -124,38 +122,10 @@ class SimulatedExecutor:
     ) -> dict[int, tuple[float, ...]]:
         """Clean-time components for a whole batch sweep, in one shot.
 
-        Returns ``{batch: (forward,)}`` — or, with ``training=True``,
-        ``{batch: (forward, backward, grad_update)}`` — computed from a
-        single batched :func:`layer_times` evaluation per phase instead of
-        one per batch size.  Each component is bit-identical to the
-        corresponding ``*_time_clean`` call at that batch: the batch axis
-        only broadcasts, the per-layer sums reduce in the same order, and
-        the base overhead adds as the same float64 pair.
+        See :meth:`ExecutionBackend.clean_time_grids`; each component is
+        bit-identical to the corresponding ``*_time_clean`` call.
         """
-        b = np.asarray(batches)
-        fwd = (
-            layer_times(profile, b, self.device).sum(axis=1)
-            + self.device.base_overhead
-        ).tolist()
-        if not training:
-            return {int(n): (t,) for n, t in zip(batches, fwd)}
-        flops_factor = np.where(
-            profile.has_params, _BWD_FLOPS_PARAM, _BWD_FLOPS_OTHER
-        )
-        bwd = (
-            layer_times(
-                profile,
-                b,
-                self.device,
-                flops_factor=flops_factor,
-                bytes_factor=_BWD_BYTES_FACTOR,
-            ).sum(axis=1)
-            + self.device.base_overhead
-        ).tolist()
-        grad = self.grad_update_time_clean(profile)
-        return {
-            int(n): (f, w, grad) for n, f, w in zip(batches, fwd, bwd)
-        }
+        return self.backend.clean_time_grids(profile, batches, training)
 
     def layer_breakdown(
         self, profile: CostProfile, batch: int
@@ -165,7 +135,7 @@ class SimulatedExecutor:
         Sums (plus the base overhead) to :meth:`forward_time_clean`, so
         the breakdown is exact, not approximate.
         """
-        return layer_times(profile, batch, self.device)
+        return self.backend.layer_times(profile, batch)
 
     # -- span emission -------------------------------------------------------
 
@@ -191,10 +161,9 @@ class SimulatedExecutor:
         """
         from repro.trace.tracer import record_layer_phase
 
-        times = layer_times(
+        times = self.backend.layer_times(
             profile,
             batch,
-            self.device,
             flops_factor=flops_factor,
             bytes_factor=bytes_factor,
         ) * noise
@@ -260,7 +229,7 @@ class SimulatedExecutor:
         """
         profile = self._as_profile(graph_or_profile, inference_mode)
         if enforce_memory:
-            check_fits(profile, batch, self.device, training=False)
+            self.backend.check_fits(profile, batch, training=False)
         clean = (
             self.forward_time_clean(profile, batch)
             if clean_time is None
@@ -294,7 +263,7 @@ class SimulatedExecutor:
         """
         profile = self._as_profile(graph_or_profile)
         if enforce_memory:
-            check_fits(profile, batch, self.device, training=True)
+            self.backend.check_fits(profile, batch, training=True)
         if clean_times is None:
             clean_times = (
                 self.forward_time_clean(profile, batch),
@@ -318,9 +287,7 @@ class SimulatedExecutor:
                 batch,
                 bwd_noise,
                 bwd,
-                flops_factor=np.where(
-                    profile.has_params, _BWD_FLOPS_PARAM, _BWD_FLOPS_OTHER
-                ),
+                flops_factor=self.backend.backward_flops_factor(profile),
                 bytes_factor=_BWD_BYTES_FACTOR,
                 reverse=True,
             )

@@ -33,29 +33,42 @@ class OutOfDeviceMemory(RuntimeError):
         self.available = available
 
 
-def inference_memory_bytes(profile: CostProfile, batch: int) -> float:
+def inference_memory_bytes(
+    profile: CostProfile,
+    batch: int,
+    float_bytes: float = _FLOAT,
+    workspace_fraction: float = 0.1,
+) -> float:
     """Footprint of a forward pass: weights + the two largest live tensors.
 
     Inference frees each activation once consumed, so the high-water mark is
     approximately the largest producer/consumer pair, not the sum.
+    ``float_bytes`` is the element width of the working datatype (2 for
+    mixed precision); ``workspace_fraction`` the im2col / cuDNN workspace
+    charged against the largest pair (edge backends charge more).
     """
-    weights = profile.total_params * _FLOAT
+    weights = profile.total_params * float_bytes
     if profile.n_layers == 0:
         return weights
-    act = profile.output_elems * (batch * _FLOAT)
+    act = profile.output_elems * (batch * float_bytes)
     largest_pair = float(act.max()) * 2.0
-    workspace = 0.1 * largest_pair  # im2col / cuDNN workspace
-    return weights + largest_pair + workspace
+    return weights + largest_pair + workspace_fraction * largest_pair
 
 
-def training_memory_bytes(profile: CostProfile, batch: int) -> float:
+def training_memory_bytes(
+    profile: CostProfile, batch: int, float_bytes: float = _FLOAT
+) -> float:
     """Footprint of a training step.
 
-    Every activation is retained for the backward pass, and the optimizer
-    keeps _ADAM_STATE_COPIES copies of the parameters.
+    Every activation is retained for the backward pass at ``float_bytes``
+    per element.  Optimizer state is always full precision: Adam keeps
+    _ADAM_STATE_COPIES fp32 copies of the parameters — for mixed precision
+    the fp16 weight/grad copies plus fp32 master and moments land on the
+    same 16 bytes per parameter, so reduced precision shrinks activations
+    only.
     """
     weights = profile.total_params * _FLOAT * _ADAM_STATE_COPIES
-    activations = float(profile.output_elems.sum()) * batch * _FLOAT
+    activations = float(profile.output_elems.sum()) * batch * float_bytes
     return weights + activations
 
 
@@ -64,14 +77,29 @@ def check_fits(
     batch: int,
     device: DeviceSpec,
     training: bool,
+    backend=None,
 ) -> None:
-    """Raise :class:`OutOfDeviceMemory` if the configuration cannot run."""
-    needed = (
-        training_memory_bytes(profile, batch)
-        if training
-        else inference_memory_bytes(profile, batch)
-    )
-    available = device.memory_bytes * _HEADROOM
+    """Raise :class:`OutOfDeviceMemory` if the configuration cannot run.
+
+    With a ``backend`` (an :class:`~repro.hardware.backend.ExecutionBackend`),
+    its memory accounting decides: element widths, workspace policy, and
+    reserved carve-outs all come from the backend instead of the bare
+    fp32-on-``device`` defaults.
+    """
+    if backend is not None:
+        needed = (
+            backend.training_memory_bytes(profile, batch)
+            if training
+            else backend.inference_memory_bytes(profile, batch)
+        )
+        available = backend.memory_available()
+    else:
+        needed = (
+            training_memory_bytes(profile, batch)
+            if training
+            else inference_memory_bytes(profile, batch)
+        )
+        available = device.memory_bytes * _HEADROOM
     if needed > available:
         mode = "training step" if training else "inference"
         raise OutOfDeviceMemory(
@@ -80,11 +108,15 @@ def check_fits(
 
 
 def fits(
-    profile: CostProfile, batch: int, device: DeviceSpec, training: bool
+    profile: CostProfile,
+    batch: int,
+    device: DeviceSpec,
+    training: bool,
+    backend=None,
 ) -> bool:
     """Boolean form of :func:`check_fits` for campaign filtering."""
     try:
-        check_fits(profile, batch, device, training)
+        check_fits(profile, batch, device, training, backend=backend)
     except OutOfDeviceMemory:
         return False
     return True

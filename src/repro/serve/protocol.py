@@ -25,6 +25,11 @@ Query fields beyond the prediction coordinates:
   (the PR 5 pass pipeline), like ``repro predict --fuse``;
 * ``"device"`` — a hardware preset name; the response then notes when the
   configuration would not fit that device's memory;
+* ``"backend"`` — an execution-backend name from
+  :data:`repro.hardware.backend.BACKEND_REGISTRY`; the memory-fit note is
+  then evaluated under that backend's accounting (edge reservations,
+  reduced-precision activations), defaulting the device to the backend's
+  preset when ``"device"`` is unset;
 * ``"node_counts"`` — switch the query to a scaling curve (Figure 8
   machinery) instead of a single step prediction.
 
@@ -52,6 +57,7 @@ from repro.core.scalability import node_scaling_curve
 from repro.core.training import TrainingStepModel
 from repro.caching import LRUCache
 from repro.graph.passes import resolve_transform
+from repro.hardware.backend import BACKEND_REGISTRY, get_backend
 from repro.hardware.device import DEVICE_PRESETS
 from repro.hardware.memory import fits
 from repro.hardware.roofline import CostProfile, zoo_profile
@@ -66,7 +72,7 @@ DEFAULT_FEATURE_CACHE = 512
 
 _QUERY_KEYS = frozenset({
     "network", "image", "batch", "nodes", "devices", "device", "fuse",
-    "node_counts", "gpus_per_node",
+    "node_counts", "gpus_per_node", "backend",
 })
 
 _REQUEST_KEYS = frozenset({"model", "queries", "domain_factor"}) | _QUERY_KEYS
@@ -105,6 +111,8 @@ class PredictQuery:
     #: Non-empty switches the query to a node-scaling curve.
     node_counts: tuple[int, ...] = ()
     gpus_per_node: int = 4
+    #: Execution backend for the memory-fit annotation ("" = roofline).
+    backend: str = ""
 
     @staticmethod
     def parse(obj: Any) -> "PredictQuery":
@@ -129,6 +137,22 @@ class PredictQuery:
             raise ProtocolError(
                 f"unknown device {device!r}; see `repro devices`", status=404
             )
+        backend = obj.get("backend", "")
+        if not isinstance(backend, str):
+            raise ProtocolError("query field 'backend' must be a string")
+        if backend and backend not in BACKEND_REGISTRY:
+            raise ProtocolError(
+                f"unknown backend {backend!r}; see `repro devices`",
+                status=404,
+            )
+        if backend:
+            # Fail the query, not the note: an invalid pairing (e.g. the
+            # edge backend on a CPU preset) is a client error, not a warning.
+            preset = DEVICE_PRESETS[device] if device else None
+            try:
+                get_backend(backend, preset)
+            except ValueError as exc:
+                raise ProtocolError(str(exc))
         fuse = obj.get("fuse")
         if fuse is not None and not isinstance(fuse, bool):
             raise ProtocolError("query field 'fuse' must be a boolean")
@@ -152,6 +176,7 @@ class PredictQuery:
             fuse=fuse,
             node_counts=tuple(node_counts),
             gpus_per_node=_positive_int(obj, "gpus_per_node", 4),
+            backend=backend,
         )
 
 
@@ -308,13 +333,27 @@ def predict_step_batch(
 def _memory_note(
     query: PredictQuery, profile: CostProfile, training: bool
 ) -> list[str]:
-    if not query.device:
+    """Memory-fit annotation, backend-aware.
+
+    A ``backend`` without a ``device`` checks against the backend's
+    default device (e.g. the edge backend's Jetson preset); a bare
+    ``device`` keeps the historical roofline check.
+    """
+    if not query.device and not query.backend:
         return []
-    device = DEVICE_PRESETS[query.device]
-    if fits(profile, query.batch, device, training=training):
+    backend = None
+    if query.backend:
+        preset = DEVICE_PRESETS[query.device] if query.device else None
+        backend = get_backend(query.backend, preset)
+        device = backend.device
+    else:
+        device = DEVICE_PRESETS[query.device]
+    if fits(profile, query.batch, device, training=training, backend=backend):
         return []
+    under = f"{query.backend} backend on {device.name}" if query.backend \
+        else query.device
     return [
-        f"configuration exceeds {query.device} memory at batch "
+        f"configuration exceeds {under} memory at batch "
         f"{query.batch}; the prediction extrapolates past what the device "
         "could measure"
     ]

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.distributed.cluster import ClusterSpec
 from repro.distributed.trainer import DistributedTrainer
+from repro.hardware.backend import get_backend
 from repro.hardware.device import DeviceSpec
 from repro.hardware.executor import SimulatedExecutor
 from repro.graph.passes import default_inference_pipeline
@@ -33,6 +34,7 @@ def trace_model(
     seed: int = 0,
     rep: int = 0,
     fuse: bool = False,
+    backend: str = "",
 ) -> Tracer:
     """Trace one simulated measurement of ``model``; returns the tracer.
 
@@ -42,8 +44,9 @@ def trace_model(
     image size is clamped up to the model's architectural minimum, the
     same courtesy ``repro verify`` extends.  ``fuse`` runs the inference
     fusion pipeline first, so spans carry fused names such as
-    ``conv2d_0+batchnorm2d_0+activation_0``.  Raises
-    :class:`~repro.hardware.memory.OutOfDeviceMemory` when the
+    ``conv2d_0+batchnorm2d_0+activation_0``.  ``backend`` names an
+    execution backend from the registry (``""`` = default roofline).
+    Raises :class:`~repro.hardware.memory.OutOfDeviceMemory` when the
     configuration does not fit the device, and :class:`KeyError` for an
     unknown model.
     """
@@ -52,6 +55,7 @@ def trace_model(
     image = max(image_size, get_entry(model).min_image_size)
     pipeline = default_inference_pipeline() if fuse else None
     profile = zoo_profile(model, image, pipeline)
+    exec_backend = get_backend(backend, device)
 
     tracer = Tracer()
     tracer.begin(
@@ -65,19 +69,20 @@ def trace_model(
             "phase": phase,
             "seed": seed,
             "rep": rep,
+            **({"backend": backend} if backend else {}),
         },
     )
     if phase == "inference":
-        executor = SimulatedExecutor(device, seed=seed)
+        executor = SimulatedExecutor(seed=seed, backend=exec_backend)
         executor.measure_inference(profile, batch, rep=rep, tracer=tracer)
     elif phase == "step":
-        executor = SimulatedExecutor(device, seed=seed)
+        executor = SimulatedExecutor(seed=seed, backend=exec_backend)
         executor.measure_training_step(profile, batch, rep=rep, tracer=tracer)
     else:
         cluster = ClusterSpec(
             nodes=nodes, gpus_per_node=gpus_per_node, device=device
         )
-        trainer = DistributedTrainer(cluster, seed=seed)
+        trainer = DistributedTrainer(cluster, seed=seed, backend=exec_backend)
         trainer.measure_step(profile, batch, rep=rep, tracer=tracer)
     tracer.end()
     tracer.require_closed()

@@ -34,7 +34,7 @@ class TestDevicePresets:
     def test_presets_registered(self):
         assert set(DEVICE_PRESETS) == {
             "a100-80gb", "xeon-gold-5318y-core", "epyc-7402-core",
-            "jetson-agx-orin",
+            "jetson-agx-orin", "jetson-xavier-nx", "jetson-orin-nano",
         }
 
     def test_get_device(self):
